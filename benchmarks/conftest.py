@@ -1,0 +1,45 @@
+"""Benchmark harness support: result emission and shared fixtures.
+
+Every benchmark regenerates one paper figure (F1–F6) or promised
+experiment (E1–E8): it prints the rows/series to stdout *and* writes
+them under ``benchmarks/results/`` so EXPERIMENTS.md's paper-vs-measured
+records come straight from harness output.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, title: str, rows, columns=None) -> None:
+    """Print a result table and persist it to results/<id>.txt."""
+    from repro.reporting import format_table
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = f"=== {experiment_id}: {title} ===\n{format_table(rows, columns)}\n"
+    print("\n" + text)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    existing = path.read_text() if path.exists() else ""
+    if f"=== {experiment_id}: {title} ===" not in existing:
+        path.write_text(existing + text + "\n")
+
+
+def emit_text(experiment_id: str, title: str, body: str) -> None:
+    """Print and persist a free-form artifact (trees, traces)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = f"=== {experiment_id}: {title} ===\n{body}\n"
+    print("\n" + text)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    existing = path.read_text() if path.exists() else ""
+    if f"=== {experiment_id}: {title} ===" not in existing:
+        path.write_text(existing + text + "\n")
+
+
+@pytest.fixture
+def figure1_program():
+    from repro.workloads import family_program
+
+    return family_program()

@@ -1,0 +1,157 @@
+"""E10 — Selection hardware ablation: Batcher sorting network vs the
+minimum-seeking tree (§3 → §6 design decision).
+
+§3 proposes a Batcher network to hand the n lowest bounds to n
+processors, then §6 demotes it: "A sorting network is costly [...]
+instead, a circuit that determines the minimum, and a priority circuit
+to arbitrate [...] would be adequate", because a processor does a lot
+of work between selections.  We quantify both sides:
+
+* hardware: comparator count and gate depth of each circuit;
+* schedule quality: the synchronous parallel model run with exact
+  n-lowest selection (what the sorting network buys) against one-at-a-
+  time min+arbitration (what the tree provides), measured in iterations.
+"""
+
+import heapq
+
+from conftest import emit
+
+from repro.bandb import BnBNode, OrTreeProblem
+from repro.machine import batcher_network, min_tree_cost
+from repro.ortree import OrTree
+from repro.workloads import synthetic_tree
+
+
+def test_e10_hardware_cost(benchmark):
+    def run():
+        rows = []
+        for n in (4, 8, 16, 32, 64):
+            net = batcher_network(n)
+            tree = min_tree_cost(n)
+            rows.append(
+                {
+                    "inputs": n,
+                    "batcher_comparators": net.comparator_count,
+                    "batcher_depth": net.depth,
+                    "min_tree_comparators": tree["comparators"],
+                    "min_tree_depth": tree["depth"],
+                    "cost_ratio": round(
+                        net.comparator_count / tree["comparators"], 2
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E10", "selection circuit hardware cost", rows)
+    assert all(r["batcher_comparators"] > r["min_tree_comparators"] for r in rows)
+    ratios = [r["cost_ratio"] for r in rows]
+    assert ratios == sorted(ratios)  # O(log^2 n) vs O(1) per input
+
+
+def _sync_run(problem, processors, selection: str) -> int:
+    """Synchronous model with two selection disciplines.
+
+    ``batch``: pop the n lowest each iteration (sorting network).
+    ``serial``: one grant per arbitration round — each iteration only
+    the single global minimum is dispatched (min tree + priority
+    circuit with a single selection per cycle).
+    Returns iterations to full enumeration.
+    """
+    heap = []
+    counter = 0
+    heapq.heappush(heap, (0.0, counter, BnBNode(problem.root(), 0.0, 0)))
+    iterations = 0
+    while heap:
+        iterations += 1
+        width = processors if selection == "batch" else 1
+        batch = []
+        while heap and len(batch) < width:
+            _, _, node = heapq.heappop(heap)
+            batch.append(node)
+        for node in batch:
+            if problem.is_solution(node.state):
+                continue
+            for child_state, cost in problem.branch(node.state):
+                counter += 1
+                child = BnBNode(child_state, node.bound + cost, node.depth + 1, node)
+                heapq.heappush(heap, (child.bound, counter, child))
+    return iterations
+
+
+def test_e10_selection_discipline(benchmark):
+    """One-grant-per-round pays when many processors wait; the paper's
+    bet is that grants are rare because work is long — modeled by the
+    batch width."""
+    wl = synthetic_tree(branching=3, depth=4, seed=60)
+
+    def run():
+        rows = []
+        for n in (2, 4, 8):
+            batch = _sync_run(
+                OrTreeProblem(OrTree(wl.program, wl.query, max_depth=32)), n, "batch"
+            )
+            serial = _sync_run(
+                OrTreeProblem(OrTree(wl.program, wl.query, max_depth=32)), n, "serial"
+            )
+            rows.append(
+                {
+                    "processors": n,
+                    "batch_select_iterations": batch,
+                    "serial_select_iterations": serial,
+                    "batch_advantage": round(serial / batch, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E10", "n-lowest (sorting net) vs one-per-round (min tree)", rows)
+    assert all(r["batch_select_iterations"] <= r["serial_select_iterations"] for r in rows)
+
+
+def test_e10_functional_selection(benchmark):
+    """The network really selects the n lowest bounds."""
+    net = batcher_network(16)
+    bounds = [13.0, 2.0, 8.0, 5.0, 21.0, 1.0, 9.0, 3.0, 17.0, 4.0]
+
+    def run():
+        return net.select_lowest(bounds, 4)
+
+    lowest = benchmark(run)
+    assert lowest == [1.0, 2.0, 3.0, 4.0]
+    emit(
+        "E10",
+        "functional check: 4 lowest of 10 bounds via the network",
+        [{"input": str(bounds), "selected": str(lowest)}],
+    )
+
+
+def test_e10_banyan_interconnect(benchmark):
+    """§6's closing bet: "a linear cost non-rectangular banyan can
+    implement these mechanisms."  Cost and blocking of the Omega/banyan
+    fabric vs a crossbar, over random permutation traffic."""
+    from repro.machine.banyan import BanyanNetwork, crossbar_cost
+
+    def run():
+        rows = []
+        for n in (4, 8, 16, 32):
+            b = BanyanNetwork(n).blocking_monte_carlo(trials=60, seed=5)
+            x = crossbar_cost(n)
+            rows.append(
+                {
+                    "inputs": n,
+                    "banyan_switches": b["switches"],
+                    "crossbar_switches": x["switches"],
+                    "banyan_mean_passes": round(b["mean_passes"], 2),
+                    "banyan_max_passes": b["max_passes"],
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E10", "banyan vs crossbar: linear cost, blocking price", rows)
+    for r in rows:
+        assert r["banyan_switches"] < r["crossbar_switches"]
+    # hardware saving grows with size while blocking stays moderate
+    assert rows[-1]["crossbar_switches"] / rows[-1]["banyan_switches"] > 5

@@ -1,0 +1,182 @@
+"""E11 — Alternative bound generation and update algorithms (§8's
+called-for evaluation).
+
+Ablates the two §5 policy choices over all 9 combinations (failure
+blame × success distribution) on the comb and a dead-branch synthetic
+tree, and compares the marginal bound against the §5-outlook
+**conditional** bound on a context-conflation workload.
+
+Measured finding (the grids below are *flat*): the §5 encoding makes
+the blame/distribution choices nearly irrelevant to warm-query work,
+because UNKNOWN = N+1 already prices any unpriced chain above every
+solution bound (N) — after one success update the live chain undercuts
+all alternatives no matter where the failure infinities landed.  The
+choices only matter for what failure knowledge *persists* across
+conservative merges.  The conditional-bound comparison, by contrast,
+shows a real effect: it resolves cross-context conflation the marginal
+model cannot represent, at a measurable weight-table cost.
+"""
+
+from conftest import emit
+
+from repro.core import BLogConfig, BLogEngine
+from repro.logic import Program
+from repro.ortree import OrTree, best_first
+from repro.weights import (
+    POLICY_COMBINATIONS,
+    ConditionalWeightStore,
+    WeightStore,
+    conditional_on_failure,
+    conditional_on_success,
+    on_failure,
+    on_success,
+)
+from repro.workloads import comb_tree, synthetic_tree
+
+CONTEXT_PROGRAM = """
+go(X) :- via_a(X).
+go(X) :- via_b(X).
+via_a(X) :- pick(X), fin_a(X).
+via_b(X) :- pick(X), fin_b(X).
+pick(m1). pick(m2).
+fin_a(m1).
+fin_b(m2).
+"""
+
+
+def policy_run(program, query, blame, dist, queries=3, max_depth=32):
+    cfg = BLogConfig(
+        n=8, a=16, max_depth=max_depth,
+        failure_blame=blame, success_distribute=dist,
+    )
+    eng = BLogEngine(program, cfg)
+    eng.begin_session()
+    series = []
+    for _ in range(queries):
+        series.append(eng.query(query, max_solutions=1).expansions_to_first)
+    return series
+
+
+def test_e11_policy_grid_comb(benchmark):
+    wl = comb_tree(teeth=8, tooth_depth=6)
+
+    def run():
+        rows = []
+        for blame, dist in POLICY_COMBINATIONS:
+            series = policy_run(wl.program, wl.query, blame, dist)
+            rows.append(
+                {
+                    "blame": blame,
+                    "distribute": dist,
+                    "q1": series[0],
+                    "q2": series[1],
+                    "q3": series[2],
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E11", "policy grid on the comb (to-first per query)", rows)
+    default = next(r for r in rows if r["blame"] == "leafmost" and r["distribute"] == "equal")
+    # the paper's defaults converge
+    assert default["q3"] <= default["q1"]
+    # no combination loses completeness (all found the prize)
+    assert all(r["q3"] is not None for r in rows)
+
+
+def test_e11_policy_grid_dead_branches(benchmark):
+    wl = synthetic_tree(branching=3, depth=4, dead_fraction=0.34, seed=70)
+
+    def run():
+        rows = []
+        for blame in ("leafmost", "rootmost", "all"):
+            series = policy_run(wl.program, wl.query, blame, "equal", queries=3)
+            rows.append(
+                {"blame": blame, "q1": series[0], "q2": series[1], "q3": series[2]}
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E11", "blame policy on 1/3-dead synthetic tree", rows)
+    assert all(r["q3"] is not None for r in rows)
+
+
+def _learn_conditional(program, query):
+    store = ConditionalWeightStore(n=8, a=16)
+    tree = OrTree(program, query, pair_weight_fn=store.pair_weight_fn(), max_depth=16)
+    best_first(tree)
+    for node in tree.solutions():
+        conditional_on_success(store, tree.chain_arcs(node.nid))
+    for node in tree.failures():
+        conditional_on_failure(store, tree.chain_arcs(node.nid))
+    return store
+
+
+def _learn_marginal(program, query, policy="goal"):
+    store = WeightStore(n=8, a=16)
+    tree = OrTree(
+        program, query, weight_fn=store.weight_fn(),
+        arc_key_policy=policy, max_depth=16,
+    )
+    best_first(tree)
+    anomalies = 0
+    for node in tree.solutions():
+        log = on_success(store, tree.chain_arcs(node.nid))
+        anomalies += log.anomaly or log.kind == "noop"
+    for node in tree.failures():
+        log = on_failure(store, tree.chain_arcs(node.nid))
+        anomalies += log.anomaly or log.kind == "noop"
+    return store, anomalies
+
+
+def test_e11_conditional_vs_marginal(benchmark):
+    """Cross-context conflation: the same (goal-policy) pick arc is in
+    both succeeding and failing chains — marginal updates degenerate,
+    conditional pairs price both contexts."""
+    program = Program.from_source(CONTEXT_PROGRAM)
+
+    def run():
+        cond = _learn_conditional(program, "go(X)")
+        marg, anomalies = _learn_marginal(program, "go(X)")
+        # warm runs: expansions to both solutions
+        ctree = OrTree(
+            Program.from_source(CONTEXT_PROGRAM),
+            "go(X)",
+            pair_weight_fn=cond.pair_weight_fn(),
+            max_depth=16,
+        )
+        cres = best_first(ctree, max_solutions=2)
+        mtree = OrTree(
+            Program.from_source(CONTEXT_PROGRAM),
+            "go(X)",
+            weight_fn=marg.weight_fn(),
+            arc_key_policy="goal",
+            max_depth=16,
+        )
+        mres = best_first(mtree, max_solutions=2)
+        return cond, anomalies, cres, mres
+
+    cond, anomalies, cres, mres = benchmark(run)
+    emit(
+        "E11",
+        "conditional vs marginal bound on context-conflated pointers",
+        [
+            {
+                "bound": "marginal (goal arcs)",
+                "degenerate_updates": anomalies,
+                "to_both_solutions": mres.expansions,
+                "weight_entries": "O(arcs)",
+            },
+            {
+                "bound": "conditional pairs",
+                "degenerate_updates": 0,
+                "to_both_solutions": cres.expansions,
+                "weight_entries": cond.table_entries,
+            },
+        ],
+    )
+    assert len(cres.solutions) == 2
+    assert len(mres.solutions) == 2
+    assert anomalies > 0  # the conflation is real
+    # the maintenance cost the paper warns about, quantified:
+    assert cond.table_entries > 0

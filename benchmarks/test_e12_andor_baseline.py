@@ -1,0 +1,163 @@
+"""E12 — The AND/OR process model [4] vs B-LOG's OR-tree (§2's choice).
+
+Section 2 picks a pure OR-tree over Conery & Kibler's AND/OR model,
+linearizing conjunctions "in very much the same way Prolog does".  This
+experiment quantifies the trade on the same queries:
+
+* tree shapes: OR-only node count vs AND/OR node counts;
+* parallelism exposed: B-LOG's OR frontier width vs the AND/OR model's
+  ideal AND∥OR speedup (sequential work / critical path);
+* the AND/OR model's extra cost: join work combining sibling answers.
+
+Expected shape: on conjunction-heavy deterministic queries the AND/OR
+model exposes parallelism the OR-tree cannot (AND-parallel groups); on
+non-deterministic single-goal queries the two coincide and the OR
+model is cheaper (no joins).
+"""
+
+from conftest import emit
+
+from repro.logic import Solver
+from repro.ortree import AndOrEvaluator, OrTree, breadth_first
+from repro.workloads import family_program, scaled_family, synthetic_tree
+
+
+def compare(program, query, var, max_depth=48):
+    tree = OrTree(program, query, max_depth=max_depth)
+    res = breadth_first(tree)
+    ao = AndOrEvaluator(program, max_depth=max_depth).run(query)
+    base = sorted(
+        str(s[var]) for s in Solver(program, max_depth=max_depth).solve_all(query)
+    )
+    assert sorted(str(a[var]) for a in ao.answers) == base
+    return {
+        "query": query if len(query) <= 28 else query[:25] + "...",
+        "or_tree_nodes": len(tree.nodes),
+        "andor_or_nodes": ao.stats.or_nodes,
+        "andor_and_nodes": ao.stats.and_nodes,
+        "join_work": ao.stats.join_work,
+        "andor_ideal_speedup": round(ao.ideal_speedup, 2),
+        "answers": len(ao.answers),
+    }
+
+
+def test_e12_model_comparison(benchmark):
+    program = family_program()
+    fam = scaled_family(4, 2, 2, seed=80)
+    wl = synthetic_tree(3, 3, 0.34, seed=81)
+
+    def run():
+        return [
+            compare(program, "gf(sam, G)", "G"),
+            compare(program, "f(sam, Y), f(Y, Z)", "Z"),
+            compare(fam.program, f"anc({fam.roots[0]}, D)", "D", max_depth=64),
+            compare(wl.program, wl.query, "W", max_depth=32),
+        ]
+
+    rows = benchmark(run)
+    emit("E12", "OR-tree (B-LOG) vs AND/OR process model [4]", rows)
+    # both models agree on answers by construction (asserted inside)
+    assert all(r["andor_ideal_speedup"] >= 1.0 for r in rows)
+
+
+def test_e12_and_parallel_advantage(benchmark):
+    """Where the AND/OR model wins: wide independent conjunctions."""
+    program = family_program()
+
+    def run():
+        rows = []
+        for width, query in [
+            (1, "gf(sam, G1)"),
+            (2, "gf(sam, G1), gf(curt, G2)"),
+            (3, "gf(sam, G1), gf(curt, G2), f(dan, G3)"),
+        ]:
+            ao = AndOrEvaluator(program, max_depth=32).run(query)
+            rows.append(
+                {
+                    "conjuncts": width,
+                    "sequential_work": ao.stats.sequential_work,
+                    "critical_path": ao.stats.critical_path,
+                    "ideal_speedup": round(ao.ideal_speedup, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E12", "AND/OR ideal speedup vs independent conjunction width", rows)
+    speedups = [r["ideal_speedup"] for r in rows]
+    assert speedups[-1] >= speedups[0]
+
+
+def test_e12_join_overhead_on_dependent_goals(benchmark):
+    """Where the OR model wins: dependent conjunctions force the AND/OR
+    model through joins the linearized model never materializes."""
+    fam = scaled_family(4, 2, 2, seed=82)
+    # pick someone known to be a father, so the conjunction has answers
+    dad = fam.fathers[fam.generations[1][0]]
+    query = f"f({dad}, Y), anc(Y, Z)"
+
+    def run():
+        ao = AndOrEvaluator(fam.program, max_depth=64).run(query)
+        tree = OrTree(fam.program, query, max_depth=64)
+        res = breadth_first(tree)
+        return ao, tree
+
+    ao, tree = benchmark(run)
+    emit(
+        "E12",
+        "dependent-conjunction costs",
+        [
+            {
+                "model": "AND/OR (sips + joins)",
+                "join_work": ao.stats.join_work,
+                "answers": len(ao.answers),
+            },
+            {
+                "model": "OR-tree (linearized)",
+                "join_work": 0,
+                "answers": len(tree.solutions()),
+            },
+        ],
+    )
+    assert ao.stats.join_work > 0
+    assert len(ao.answers) == len(tree.solutions())
+
+
+def test_e12_scheduled_on_finite_machine(benchmark):
+    """§7's 'in general our model could also support AND-parallelism',
+    quantified: the AND/OR task graph list-scheduled onto N processors
+    — between total work (N=1) and the critical path (N=∞)."""
+    from repro.machine.schedule import list_schedule
+
+    wl = synthetic_tree(3, 4, seed=85)
+
+    def run():
+        res = AndOrEvaluator(wl.program, max_depth=32).run(
+            wl.query, record_tasks=True
+        )
+        g = res.task_graph
+        rows = []
+        for n in (1, 2, 4, 8, 16):
+            r = list_schedule(g, n)
+            rows.append(
+                {
+                    "processors": n,
+                    "makespan": r.makespan,
+                    "speedup": round(r.speedup, 2),
+                    "efficiency": round(r.efficiency, 2),
+                }
+            )
+        rows.append(
+            {
+                "processors": "inf",
+                "makespan": g.critical_path(),
+                "speedup": round(g.total_work / g.critical_path(), 2),
+                "efficiency": 0,
+            }
+        )
+        return rows
+
+    rows = benchmark(run)
+    emit("E12", "AND/OR task graph on a finite machine (list scheduling)", rows)
+    speedups = [r["speedup"] for r in rows[:-1]]
+    assert speedups == sorted(speedups)

@@ -1,0 +1,118 @@
+"""E13 — Scoreboard controller study (§6's processor-design question).
+
+"We should build some specialized units, for example, to instantiate
+variables. [...] The actual design of these units is presently one of
+our main areas of research."  Using the production-rule interpreter on
+real queries, this experiment asks the design questions §6 leaves open:
+
+* how many unify/copy units does a B-LOG processor want before
+  structural stalls stop paying?
+* what is each unit kind's utilization on representative workloads
+  (what's worth building in silicon)?
+* how much does multitasking overlap matter at the micro-op level
+  (RAW stalls = the serialization the scoreboard works around)?
+"""
+
+from conftest import emit
+
+from repro.machine import Scoreboard
+from repro.machine.interpreter import simulate_query
+from repro.ortree import OrTree
+from repro.workloads import family_program, nqueens_program, nqueens_query, synthetic_tree
+
+
+def test_e13_unit_count_sweep(benchmark):
+    wl = synthetic_tree(branching=6, depth=3, seed=91)
+
+    def run():
+        rows = []
+        for units in (1, 2, 4, 8):
+            sb = Scoreboard(
+                unit_counts={
+                    "search": 1,
+                    "unify": units,
+                    "copy": units,
+                    "arith": 1,
+                    "select": 1,
+                }
+            )
+            tree = OrTree(wl.program, wl.query, max_depth=16)
+            report = simulate_query(tree, scoreboard=sb)
+            rows.append(
+                {
+                    "unify/copy_units": units,
+                    "total_cycles": report.total_cycles,
+                    "structural_stalls": report.structural_stalls,
+                    "raw_stalls": report.raw_stalls,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E13", "unit-count sweep on a wide OR fan-out (b=6)", rows)
+    cycles = [r["total_cycles"] for r in rows]
+    assert cycles == sorted(cycles, reverse=True)  # more units never hurt
+    # diminishing returns: the last doubling saves less than the first
+    assert (cycles[0] - cycles[1]) >= (cycles[2] - cycles[3])
+
+
+def test_e13_unit_utilization_by_workload(benchmark):
+    workloads = {
+        "family gf": (family_program(), "gf(sam, G)", 32),
+        "5-queens": (nqueens_program(5), nqueens_query(), 512),
+        "synthetic b=3": (synthetic_tree(3, 4, seed=92).program, "l0(W)", 32),
+    }
+
+    def run():
+        rows = []
+        for name, (program, query, depth) in workloads.items():
+            sb = Scoreboard()
+            tree = OrTree(program, query, max_depth=depth)
+            report = simulate_query(tree, scoreboard=sb, max_solutions=5)
+            util = report.utilization(sb.unit_counts)
+            rows.append(
+                {
+                    "workload": name,
+                    "cycles": report.total_cycles,
+                    "u_search": round(util["search"], 2),
+                    "u_unify": round(util["unify"], 2),
+                    "u_copy": round(util["copy"], 2),
+                    "u_select": round(util["select"], 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E13", "unit utilization by workload (default 1/2/2/1/1 units)", rows)
+    assert all(0 <= r["u_unify"] <= 1 for r in rows)
+
+
+def test_e13_operand_derived_latencies(benchmark):
+    """Interpreter-compiled programs vs the synthetic fixed-shape model:
+    real term sizes spread the latencies, which the scoreboard overlaps."""
+    from repro.machine import expansion_program
+
+    program = family_program()
+
+    def run():
+        sb = Scoreboard()
+        tree = OrTree(program, "gf(sam, G)", max_depth=16)
+        real = simulate_query(tree, scoreboard=sb)
+        synth_cycles = 0
+        for _ in range(real.expansions):
+            synth_cycles += sb.run(expansion_program(2, 2)).cycles
+        return real, synth_cycles
+
+    real, synth_cycles = benchmark(run)
+    emit(
+        "E13",
+        "operand-derived vs fixed-shape expansion cost",
+        [
+            {
+                "model": "interpreter (real operands)",
+                "cycles": real.total_cycles,
+            },
+            {"model": "synthetic fixed-shape", "cycles": synth_cycles},
+        ],
+    )
+    assert real.total_cycles > 0

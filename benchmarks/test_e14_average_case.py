@@ -1,0 +1,88 @@
+"""E14 — Average-case depth-first search (§3's citation of Stone [14]).
+
+"Some studies of the average complexity of search algorithms show that
+in practice many problems that are NP-complete are much better behaved
+in the average case (to the point of sometimes being linear).  This has
+been shown for depth-first search algorithms with a suitable bound."
+
+Over a distribution of random synthetic trees (random dead fractions
+and solution placements), measure DFS work to the first solution: the
+mean should sit far below the worst case, and scale roughly with tree
+depth (linear-ish) rather than tree size (exponential) as long as live
+branches are common — Stone's observation, reproduced on our substrate.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.ortree import OrTree, depth_first
+from repro.workloads import synthetic_tree
+
+
+def dfs_to_first(program, query, max_depth=32):
+    tree = OrTree(program, query, max_depth=max_depth)
+    res = depth_first(tree, max_solutions=1)
+    return res.expansions_to_first if res.solutions else res.expansions
+
+
+def test_e14_average_vs_worst_case(benchmark):
+    def run():
+        rows = []
+        for depth in (3, 4, 5):
+            samples = []
+            for seed in range(20):
+                rng = np.random.default_rng(seed)
+                dead = float(rng.choice([0.0, 0.34, 0.67]))
+                wl = synthetic_tree(3, depth, dead, seed=seed)
+                samples.append(dfs_to_first(wl.program, wl.query))
+            tree_size = sum(3**k for k in range(depth + 1))
+            rows.append(
+                {
+                    "depth": depth,
+                    "tree_internal_nodes": tree_size,
+                    "mean_to_first": round(float(np.mean(samples)), 1),
+                    "median": float(np.median(samples)),
+                    "worst": max(samples),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E14", "DFS work to first solution over random trees (Stone [14])", rows)
+    # the average stays far below tree size (the §3 hope)
+    for r in rows:
+        assert r["mean_to_first"] < r["tree_internal_nodes"] / 2
+    # and grows much slower than the exponential tree size
+    growth_mean = rows[-1]["mean_to_first"] / rows[0]["mean_to_first"]
+    growth_size = rows[-1]["tree_internal_nodes"] / rows[0]["tree_internal_nodes"]
+    assert growth_mean < growth_size
+
+
+def test_e14_dead_fraction_sensitivity(benchmark):
+    """Where the average case degrades: as the dead fraction rises, DFS
+    to-first work approaches the worst case — exactly the regime B-LOG's
+    learned weights then repair (E1/E3)."""
+
+    def run():
+        rows = []
+        for dead in (0.0, 0.34, 0.67):
+            samples = [
+                dfs_to_first(
+                    synthetic_tree(3, 4, dead, seed=s).program, "l0(W)"
+                )
+                for s in range(12)
+            ]
+            rows.append(
+                {
+                    "dead_fraction": dead,
+                    "mean_to_first": round(float(np.mean(samples)), 1),
+                    "worst": max(samples),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E14", "DFS average-case vs dead-branch fraction", rows)
+    means = [r["mean_to_first"] for r in rows]
+    assert means == sorted(means)

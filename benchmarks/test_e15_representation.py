@@ -1,0 +1,99 @@
+"""E15 — Structure sharing vs copying (§6's representation choice).
+
+"The processor memory should be designed to write multiply [...] since
+most structure sharing schemes are difficult to implement in parallel
+[16]."  Price both representations on real developed trees: sharing
+saves memory by a large factor, but its environment-chain dereferences
+grow with chain depth and contend on shared ancestor frames — the cost
+the paper sidesteps by copying and making copies cheap in hardware.
+"""
+
+from conftest import emit
+
+from repro.machine import MultiWriteRAM
+from repro.ortree import OrTree
+from repro.ortree.representation import representation_costs
+from repro.workloads import comb_tree, scaled_family, synthetic_tree
+
+
+def developed(program, query, max_depth=64):
+    tree = OrTree(program, query, max_depth=max_depth)
+    tree.expand_all()
+    return tree
+
+
+def test_e15_memory_vs_access(benchmark):
+    workloads = {
+        "family anc": lambda: (
+            lambda fam: (fam.program, f"anc({fam.roots[0]}, D)")
+        )(scaled_family(4, 2, 2, seed=60)),
+        "synthetic b=3 d=4": (
+            lambda wl: (wl.program, wl.query)
+        )(synthetic_tree(3, 4, seed=61)),
+        "deep comb d=12": (
+            lambda wl: (wl.program, wl.query)
+        )(comb_tree(teeth=3, tooth_depth=12)),
+    }
+
+    def run():
+        rows = []
+        for name, spec in workloads.items():
+            program, query = spec() if callable(spec) else spec
+            tree = developed(program, query, max_depth=64)
+            costs = representation_costs(tree)
+            rows.append(
+                {
+                    "workload": name,
+                    "nodes": costs.nodes,
+                    "copy_words": costs.copy_memory_words,
+                    "share_words": costs.share_memory_words,
+                    "mem_saving": round(costs.memory_ratio, 1),
+                    "copy_touches": costs.copy_access_touches,
+                    "share_touches": costs.share_access_touches,
+                    "access_penalty": round(costs.access_ratio, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E15", "structure sharing vs copying on developed trees", rows)
+    assert all(r["mem_saving"] > 1 for r in rows)
+    deep = next(r for r in rows if "comb" in r["workload"])
+    assert deep["access_penalty"] > 1.0
+
+
+def test_e15_multiwrite_closes_the_gap(benchmark):
+    """Copying's memory bill, paid through the §6 multiply-write
+    hardware: per-expansion fan-out batching brings the copy cost per
+    word toward 1 — the paper's answer to sharing's memory advantage."""
+    wl = synthetic_tree(3, 4, seed=62)
+
+    from repro.machine import ConventionalRAM
+
+    def run():
+        tree = developed(wl.program, wl.query, max_depth=32)
+        costs = representation_costs(tree)
+        avg_words = max(1, costs.copy_memory_words // max(1, costs.nodes))
+        naive = 0
+        batched = 0
+        for node in tree.nodes:
+            k = len(node.children)
+            if k:
+                naive += ConventionalRAM.copy_cost(avg_words, k).cycles
+                batched += MultiWriteRAM.copy_cost(avg_words, k).cycles
+        return costs, naive, batched
+
+    costs, naive, batched = benchmark(run)
+    emit(
+        "E15",
+        "copy bill under multiply-write batching",
+        [
+            {
+                "copy_words": costs.copy_memory_words,
+                "conventional_cycles": naive,
+                "multiwrite_cycles": batched,
+                "saving": round(naive / batched, 2) if batched else 0,
+            }
+        ],
+    )
+    assert batched <= naive

@@ -1,0 +1,153 @@
+"""E1 — Search strategy comparison (§3's argument, measured).
+
+Nodes expanded to the first and to all solutions: depth-first (Prolog),
+breadth-first, best-first with cold (uniform) weights, and best-first
+with learned weights after a one-query warm-up.
+
+Expected shape: BFS does the most work near the root; warm best-first
+expands the fewest nodes to the first solution and avoids dead
+branches entirely; DFS sits in between, sensitive to where the
+solutions happen to sit in clause order.
+"""
+
+from conftest import emit
+
+from repro.core import BLogConfig, BLogEngine
+from repro.ortree import OrTree, run_strategy
+from repro.workloads import comb_tree, scaled_family, solve_nqueens, synthetic_tree
+
+
+def strategy_rows(program, query, max_depth=32, warm_engine=None):
+    rows = []
+    for name in ("depth-first", "breadth-first", "best-first"):
+        tree = OrTree(program, query, max_depth=max_depth)
+        res = run_strategy(name, tree, max_solutions=None)
+        rows.append(
+            {
+                "strategy": name,
+                "to_first": res.expansions_to_first,
+                "to_all": res.expansions,
+                "solutions": len(res.solutions),
+            }
+        )
+    if warm_engine is not None:
+        r = warm_engine.query(query)
+        rows.append(
+            {
+                "strategy": "best-first (learned)",
+                "to_first": r.expansions_to_first,
+                "to_all": r.expansions,
+                "solutions": len(r.answers),
+            }
+        )
+    return rows
+
+
+def test_e1_comb(benchmark):
+    """The comb: one live tooth among many — the sharpest contrast."""
+    wl = comb_tree(teeth=8, tooth_depth=6, solution_tooth=-1)
+    eng = BLogEngine(wl.program, BLogConfig(n=8, a=16, max_depth=32))
+    eng.begin_session()
+    eng.query(wl.query)  # warm-up
+
+    def run():
+        return strategy_rows(wl.program, wl.query, warm_engine=eng)
+
+    rows = benchmark(run)
+    emit("E1", "comb workload (8 teeth x depth 6, 1 solution)", rows)
+    learned = rows[-1]
+    dfs = rows[0]
+    assert learned["to_first"] <= dfs["to_first"]
+
+
+def test_e1_synthetic_with_failures(benchmark):
+    wl = synthetic_tree(branching=3, depth=4, dead_fraction=0.34, seed=1)
+    eng = BLogEngine(wl.program, BLogConfig(n=8, a=16, max_depth=32))
+    eng.begin_session()
+    eng.query(wl.query)
+
+    def run():
+        return strategy_rows(wl.program, wl.query, warm_engine=eng)
+
+    rows = benchmark(run)
+    emit("E1", "synthetic tree (b=3, d=4, 1/3 dead)", rows)
+    assert all(r["solutions"] == wl.n_solutions for r in rows)
+
+
+def test_e1_family(benchmark):
+    fam = scaled_family(4, 2, 2, seed=2)
+    query = f"anc({fam.roots[0]}, D)"
+    eng = BLogEngine(fam.program, BLogConfig(n=8, a=16, max_depth=64))
+    eng.begin_session()
+    eng.query(query)
+
+    def run():
+        return strategy_rows(fam.program, query, max_depth=64, warm_engine=eng)
+
+    rows = benchmark(run)
+    emit("E1", f"scaled family, {query}", rows)
+
+
+def test_e1_nqueens_first_solution(benchmark):
+    """N-queens: first-solution work under each strategy (the
+    non-deterministic workload §7 argues OR-parallelism/best-first
+    help with)."""
+    from repro.workloads import nqueens_program, nqueens_query
+
+    program = nqueens_program(5)
+    rows = []
+
+    def run():
+        out = []
+        for name in ("depth-first", "best-first"):
+            # OR-tree depth counts builtin steps too: a 5-queens chain is
+            # a few hundred resolutions deep
+            tree = OrTree(program, nqueens_query(), max_depth=512)
+            res = run_strategy(name, tree, max_solutions=1)
+            out.append(
+                {
+                    "strategy": name,
+                    "to_first": res.expansions_to_first,
+                    "generated": res.generated,
+                }
+            )
+        return out
+
+    rows = benchmark(run)
+    emit("E1", "5-queens, first solution", rows)
+    assert all(r["to_first"] is not None for r in rows)
+
+
+def test_e1_computation_rules(benchmark):
+    """Goal-selection (computation rule) ablation on generate-and-test:
+    fewest-candidates resolves the selective tester before the wide
+    generator, shrinking the tree (the §7 ordering intuition)."""
+    from repro.logic import Program
+    from repro.ortree import depth_first
+
+    lines = [f"gen({i})." for i in range(12)] + ["good(7).", "good(11)."]
+    lines.append("pick(X) :- gen(X), good(X).")
+    program = Program.from_source("\n".join(lines))
+
+    def run():
+        rows = []
+        for rule in ("leftmost", "most-bound", "fewest-candidates"):
+            tree = OrTree(
+                program, "pick(X)", selection_rule=rule, max_depth=16
+            )
+            res = depth_first(tree)
+            rows.append(
+                {
+                    "selection_rule": rule,
+                    "nodes": len(tree.nodes),
+                    "expansions": res.expansions,
+                    "answers": len(res.solutions),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E1", "computation-rule ablation (generate-and-test)", rows)
+    by = {r["selection_rule"]: r for r in rows}
+    assert by["fewest-candidates"]["nodes"] < by["leftmost"]["nodes"]
+    assert len({r["answers"] for r in rows}) == 1

@@ -1,0 +1,142 @@
+"""E2 — The §4 weight theory, solved and verified.
+
+For each workload: develop the full OR-tree, build the "N equations in
+M unknowns" system, solve it (non-negative least squares), and verify
+that every solution chain prices at the common bound and every failure
+chain is killable.  Reports system dimensions, residuals, and
+pathology counts — the existence question §4 raises.
+"""
+
+from conftest import emit
+
+from repro.logic import Program
+from repro.ortree import OrTree
+from repro.weights import solve_weights, verify_assignment
+from repro.workloads import (
+    FIGURE1_QUERY,
+    family_program,
+    scaled_family,
+    synthetic_tree,
+)
+
+
+def analyze(program, query, policy="goal", max_depth=48):
+    tree = OrTree(program, query, arc_key_policy=policy, max_depth=max_depth)
+    tree.expand_all()
+    res = solve_weights(tree)
+    return tree, res
+
+
+def test_e2_figure3_system(benchmark):
+    program = family_program()
+
+    def run():
+        return analyze(program, FIGURE1_QUERY)
+
+    tree, res = benchmark(run)
+    assert res.feasible
+    assert verify_assignment(tree, res)
+    emit(
+        "E2",
+        "figure-3 weight system",
+        [
+            {
+                "solutions(N_eqs)": res.n_solutions,
+                "failures": res.n_failures,
+                "arcs(M_unknowns)": len(res.finite_weights) + len(res.infinite_arcs),
+                "target": res.target,
+                "residual": res.residual,
+                "feasible": res.feasible,
+            }
+        ],
+    )
+    rows = [
+        {"arc": str(k)[:60], "weight": w, "probability": res.probability(k)}
+        for k, w in sorted(res.finite_weights.items(), key=lambda kv: str(kv[0]))
+    ] + [
+        {"arc": str(k)[:60], "weight": float("inf"), "probability": 0.0}
+        for k in sorted(res.infinite_arcs, key=str)
+    ]
+    emit("E2", "the solved arc weights (cf. §4's worked example)", rows)
+
+
+def test_e2_system_dimensions_scale(benchmark):
+    """M >> N as the paper expects: arcs outnumber chains."""
+
+    def run():
+        rows = []
+        for gens in (3, 4):
+            fam = scaled_family(gens, 2, 2, seed=4)
+            tree, res = analyze(fam.program, f"anc({fam.roots[0]}, D)", max_depth=64)
+            rows.append(
+                {
+                    "generations": gens,
+                    "N_eqs": res.n_solutions,
+                    "M_unknowns": len(res.finite_weights) + len(res.infinite_arcs),
+                    "residual": res.residual,
+                    "feasible": res.feasible,
+                    "pathological": len(res.pathological_chains),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E2", "system dimensions on scaled families", rows)
+    assert all(r["M_unknowns"] >= r["N_eqs"] or r["N_eqs"] <= 2 for r in rows)
+
+
+def test_e2_pathology_search(benchmark):
+    """Sweep synthetic trees looking for infeasible systems; report the
+    incidence (the paper: 'pathological cases exist')."""
+
+    def run():
+        rows = []
+        for seed in range(6):
+            wl = synthetic_tree(branching=3, depth=3, dead_fraction=0.34, seed=seed)
+            tree, res = analyze(wl.program, wl.query, max_depth=24)
+            rows.append(
+                {
+                    "seed": seed,
+                    "solutions": res.n_solutions,
+                    "failures": res.n_failures,
+                    "residual": res.residual,
+                    "pathological_chains": len(res.pathological_chains),
+                    "feasible": res.feasible,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E2", "feasibility sweep over synthetic trees", rows)
+
+
+def test_e2_shared_fact_pathology(benchmark):
+    """A hand-built near-pathological case: a fact arc shared between a
+    succeeding and a failing continuation under the goal policy."""
+    program = Program.from_source(
+        """
+        top(X) :- shared, pick(X).
+        shared.
+        pick(one).
+        pick(X) :- dead(X).
+        """
+    )
+
+    def run():
+        return analyze(program, "top(W)")
+
+    tree, res = benchmark(run)
+    emit(
+        "E2",
+        "shared-arc case: failure priced on its private arc",
+        [
+            {
+                "solutions": res.n_solutions,
+                "failures": res.n_failures,
+                "infinite_arcs": len(res.infinite_arcs),
+                "pathological": len(res.pathological_chains),
+                "feasible": res.feasible,
+            }
+        ],
+    )
+    assert res.feasible  # the pick:-dead arc is private to the failure

@@ -1,0 +1,161 @@
+"""E3 — Session convergence (§5's adaptive-control claim, measured).
+
+"Especially where a user tries a second and third query that is
+similar to the first one with some minor changes, later searches
+should become more efficient."  We run query sequences inside one
+session and report work-to-first-solution per query, plus the distance
+between the heuristic weights and the §4 theoretical solution.
+
+Expected shape: monotone (noisy) decrease in expansions across the
+session; repeated identical queries drop to the chain length; the
+learned weights reproduce the theory's qualitative structure
+(solution chains at N, failures at infinity).
+"""
+
+from conftest import emit
+
+from repro.core import BLogConfig, BLogEngine
+from repro.ortree import OrTree
+from repro.weights import solve_weights
+from repro.workloads import comb_tree, query_sequence, scaled_family
+
+
+def test_e3_repeated_query(benchmark):
+    wl = comb_tree(teeth=8, tooth_depth=6)
+
+    def run():
+        eng = BLogEngine(wl.program, BLogConfig(n=8, a=16, max_depth=32))
+        eng.begin_session()
+        series = []
+        for i in range(4):
+            r = eng.query(wl.query, max_solutions=1)
+            series.append(
+                {"query#": i + 1, "to_first": r.expansions_to_first, "expansions": r.expansions}
+            )
+        eng.end_session()
+        return series
+
+    series = benchmark(run)
+    emit("E3", "repeated identical query on the comb (session-local learning)", series)
+    assert series[-1]["to_first"] <= series[0]["to_first"]
+
+
+def test_e3_similar_query_sequence(benchmark):
+    fam = scaled_family(5, 2, 2, seed=5)
+    queries = query_sequence(fam, n_queries=8, predicate="anc", seed=6)
+
+    def run():
+        eng = BLogEngine(fam.program, BLogConfig(n=16, a=16, max_depth=64))
+        eng.begin_session()
+        series = []
+        for i, q in enumerate(queries):
+            first = eng.query(q, max_solutions=1)
+            full = eng.query(q)
+            series.append(
+                {
+                    "query#": i + 1,
+                    "query": q,
+                    "to_first": first.expansions_to_first,
+                    "full_expansions": full.expansions,
+                    "answers": len(full.answers),
+                }
+            )
+        eng.end_session()
+        return series
+
+    series = benchmark(run)
+    emit("E3", "similar-query session over a scaled family", series)
+    # Reproduction finding: anc trees over a family forest are nearly
+    # failure-free (every branch yields an ancestor), and the B-LOG
+    # bound prices ALL solution chains at the same N — so learning
+    # removes the shallow-solution bias and to-first can *rise* for
+    # repeated subjects.  The weighting scheme optimizes failure
+    # avoidance (see the comb above), not shallow-solution discovery.
+    # We assert the honest invariant: work stays within the full tree.
+    for s in series:
+        assert s["to_first"] <= s["full_expansions"]
+
+
+def test_e3_heuristic_approaches_theory(benchmark):
+    """After a session, compare heuristic weights against the exact §4
+    solution on the figure-3 tree: same infinities, solution chains at
+    the same target."""
+    from repro.workloads import family_program
+
+    program = family_program()
+
+    def run():
+        eng = BLogEngine(program, BLogConfig(n=8, a=16))
+        eng.begin_session()
+        for _ in range(3):
+            eng.query("gf(sam, G)")
+        store = eng.store
+        tree = OrTree(program, "gf(sam, G)", arc_key_policy="pointer")
+        tree.expand_all()
+        theory = solve_weights(tree, target=8.0)
+        sol_ok = all(
+            abs(
+                sum(
+                    store.weight(a.key)
+                    for a in tree.chain_arcs(s.nid)
+                    if a.key.kind != "builtin"
+                )
+                - 8.0
+            )
+            < 1e-6
+            for s in tree.solutions()
+        )
+        (fail,) = tree.failures()
+        fail_ok = any(
+            store.is_infinite(a.key) for a in tree.chain_arcs(fail.nid)
+        )
+        return sol_ok, fail_ok, theory
+
+    sol_ok, fail_ok, theory = benchmark(run)
+    emit(
+        "E3",
+        "heuristic weights vs §4 theory after a 3-query session",
+        [
+            {
+                "solution_chains_at_N": sol_ok,
+                "failure_chain_infinite": fail_ok,
+                "theory_feasible": theory.feasible,
+            }
+        ],
+    )
+    assert sol_ok and fail_ok
+
+
+def test_e3_distance_to_theory_shrinks(benchmark):
+    """Quantified convergence: mean weight distance from the learned
+    store to the §4 exact solution, after 0/1/2/3 queries."""
+    from repro.weights import WeightStore, store_distance, store_from_theory
+
+    from repro.workloads import family_program
+
+    program = family_program()
+
+    def run():
+        tree = OrTree(program, "gf(sam, G)", arc_key_policy="pointer")
+        tree.expand_all()
+        theory = store_from_theory(solve_weights(tree, target=8.0), n=8.0, a=16)
+        eng = BLogEngine(program, BLogConfig(n=8, a=16))
+        eng.begin_session()
+        series = [
+            {"queries": 0, "distance": round(store_distance(WeightStore(n=8, a=16), theory), 3)}
+        ]
+        for i in range(3):
+            eng.query("gf(sam, G)")
+            series.append(
+                {
+                    "queries": i + 1,
+                    "distance": round(store_distance(eng.store, theory), 3),
+                }
+            )
+        eng.end_session()
+        return series
+
+    series = benchmark(run)
+    emit("E3", "mean weight distance to the §4 exact store", series)
+    distances = [s["distance"] for s in series]
+    assert distances[-1] < distances[0]

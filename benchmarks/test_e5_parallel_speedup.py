@@ -1,0 +1,121 @@
+"""E5 — Parallel speedup of the B-LOG machine (§6's performance claim).
+
+Two models, same search space:
+
+* the synchronous Kumar–Kanal formulation (iterations = time);
+* the cycle-level DES machine (makespan = time), with M tasks per
+  processor hiding disk latency.
+
+Expected shape: near-linear speedup while the frontier is wide,
+saturating when frontier < processors; utilization declines with N;
+multitasking (M=2 vs M=1) recovers part of the disk-wait time.
+"""
+
+from conftest import emit
+
+from repro.bandb import OrTreeProblem, speedup_curve
+from repro.linkdb import LinkedDatabase
+from repro.machine import BLogMachine, MachineConfig
+from repro.ortree import OrTree
+from repro.spd import SemanticPagingDisk
+from repro.workloads import synthetic_tree
+
+PROCESSOR_COUNTS = [1, 2, 4, 8, 16]
+
+
+def test_e5_synchronous_model(benchmark):
+    wl = synthetic_tree(branching=3, depth=5, seed=20)
+
+    def run():
+        return speedup_curve(
+            lambda: OrTreeProblem(OrTree(wl.program, wl.query, max_depth=32)),
+            PROCESSOR_COUNTS,
+            max_solutions=None,
+        )
+
+    rows = benchmark(run)
+    emit("E5", "synchronous wave-front model (b=3, d=5)", rows)
+    speedups = [r["speedup"] for r in rows]
+    assert speedups[-1] > speedups[0]
+    assert rows[-1]["utilization"] <= rows[0]["utilization"]
+
+
+def test_e5_des_machine(benchmark):
+    wl = synthetic_tree(branching=3, depth=5, seed=21)
+
+    def run():
+        rows = []
+        base = None
+        for n in PROCESSOR_COUNTS:
+            tree = OrTree(wl.program, wl.query, max_depth=32)
+            cfg = MachineConfig(n_processors=n, tasks_per_processor=2, d=2.0)
+            res = BLogMachine(cfg).run(tree)
+            if base is None:
+                base = res.makespan
+            rows.append(
+                {
+                    "processors": n,
+                    "makespan": res.makespan,
+                    "speedup": base / res.makespan,
+                    "utilization": res.mean_utilization,
+                    "migrations": res.migrations,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E5", "cycle-level DES machine (b=3, d=5)", rows)
+    assert rows[2]["speedup"] > 2.0  # 4 processors beat 2x
+    assert rows[-1]["utilization"] < rows[0]["utilization"]
+
+
+def test_e5_multitasking_hides_disk_latency(benchmark):
+    """M tasks per processor overlap disk waits with computation — the
+    §6 'delays due to disk access can be compensated' claim."""
+    wl = synthetic_tree(branching=3, depth=4, seed=22)
+    db = LinkedDatabase(wl.program)
+
+    def run():
+        rows = []
+        for m in (1, 2, 4):
+            disk = SemanticPagingDisk(db, n_sps=2, track_words=128)
+            tree = OrTree(wl.program, wl.query, max_depth=32)
+            cfg = MachineConfig(
+                n_processors=2, tasks_per_processor=m, memory_blocks=16
+            )
+            res = BLogMachine(cfg, disk=disk).run(tree)
+            rows.append(
+                {
+                    "tasks_per_proc": m,
+                    "makespan": res.makespan,
+                    "disk_cycles": res.disk_cycles,
+                    "utilization": res.mean_utilization,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E5", "multitasking vs disk latency (2 processors + SPD)", rows)
+    assert rows[1]["makespan"] <= rows[0]["makespan"]
+
+
+def test_e5_narrow_tree_saturates(benchmark):
+    """A chain-like tree has no frontier to spread: speedup ~ 1."""
+    wl = synthetic_tree(branching=1, depth=24, seed=23)
+
+    def run():
+        t1 = BLogMachine(MachineConfig(n_processors=1)).run(
+            OrTree(wl.program, wl.query, max_depth=64)
+        )
+        t8 = BLogMachine(MachineConfig(n_processors=8)).run(
+            OrTree(wl.program, wl.query, max_depth=64)
+        )
+        return t1.makespan, t8.makespan
+
+    t1, t8 = benchmark(run)
+    emit(
+        "E5",
+        "saturation: chain-shaped tree (no OR fan-out)",
+        [{"processors": 1, "makespan": t1}, {"processors": 8, "makespan": t8}],
+    )
+    assert t8 >= t1 * 0.8  # essentially no speedup possible

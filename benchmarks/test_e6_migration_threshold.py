@@ -1,0 +1,169 @@
+"""E6 — The migration threshold D (§6's run-time tunable, swept).
+
+"We choose a value D, which reflects the communication cost of moving
+a chain.  [...] D can be modified at run time, based on the measured
+communication overhead."
+
+Sweep D from 0 (greedy global best-first: every imbalance triggers a
+transfer) to effectively infinite (work moves only to idle
+processors): report completion time, network traffic and utilization.
+
+Expected shape: traffic decreases monotonically with D; completion
+time is U-shaped-ish — greedy flooding pays transfer latency, frozen
+pools strand work — with a broad sweet spot in between (exact minimum
+position depends on transfer costs).
+"""
+
+from conftest import emit
+
+from repro.machine import BLogMachine, MachineConfig
+from repro.ortree import OrTree
+from repro.weights import WeightStore
+from repro.workloads import synthetic_tree
+
+D_VALUES = [0.0, 1.0, 4.0, 16.0, 1e9]
+
+
+def sweep(wl, store=None, n=4, m=2):
+    rows = []
+    for d in D_VALUES:
+        # unit arc weights by default: bounds = chain depth, so the D
+        # comparison operates on real gaps (the all-zero default would
+        # make every bound 0 and D vacuous)
+        weight_fn = store.weight_fn() if store is not None else (lambda k: 1.0)
+        tree = OrTree(wl.program, wl.query, weight_fn=weight_fn, max_depth=32)
+        cfg = MachineConfig(n_processors=n, tasks_per_processor=m, d=d)
+        res = BLogMachine(cfg).run(tree)
+        rows.append(
+            {
+                "D": d if d < 1e8 else float("inf"),
+                "makespan": res.makespan,
+                "idle_pulls": res.idle_pulls,
+                "rebalances": res.rebalances,
+                "net_words": res.network_words_moved,
+                "utilization": res.mean_utilization,
+            }
+        )
+    return rows
+
+
+def test_e6_d_sweep_uniform_weights(benchmark):
+    wl = synthetic_tree(branching=3, depth=5, seed=30)
+
+    def run():
+        return sweep(wl)
+
+    rows = benchmark(run)
+    emit("E6", "D sweep, unit arc weights (b=3, d=5, 4 procs)", rows)
+    # The D-gated component — steady-state rebalances — decreases
+    # (weakly) as D grows; idle pulls are D-independent by design, so
+    # TOTAL traffic is not monotone (greedy early rebalancing can
+    # prevent later idle pulls — visible in the table).
+    rebalances = [r["rebalances"] for r in rows]
+    assert all(b >= a for a, b in zip(rebalances[1:], rebalances)), rebalances
+    assert all(r["makespan"] > 0 for r in rows)
+
+
+def test_e6_d_sweep_learned_weights(benchmark):
+    """With non-uniform (learned) weights, bound gaps between processors
+    are real, so D actually gates useful migrations."""
+    wl = synthetic_tree(branching=3, depth=4, dead_fraction=0.34, seed=31)
+    store = WeightStore(n=16, a=16)
+    # warm the store with one sequential pass
+    from repro.core import BLogConfig, BLogEngine
+
+    eng = BLogEngine(
+        wl.program, BLogConfig(n=16, a=16, max_depth=32), global_store=store
+    )
+    eng.query(wl.query)
+
+    def run():
+        return sweep(wl, store=store)
+
+    rows = benchmark(run)
+    emit("E6", "D sweep, learned weights (1/3 dead branches)", rows)
+    assert rows[0]["rebalances"] >= rows[-1]["rebalances"]
+
+
+def test_e6_transfer_cost_interaction(benchmark):
+    """The right D grows with chain size: bigger chains cost more to
+    move, so greedy migration hurts more."""
+    wl = synthetic_tree(branching=3, depth=5, seed=32)
+
+    def run():
+        rows = []
+        for words_per_depth in (4, 32):
+            for d in (0.0, 8.0):
+                tree = OrTree(
+                    wl.program, wl.query, weight_fn=lambda k: 1.0, max_depth=32
+                )
+                cfg = MachineConfig(
+                    n_processors=4,
+                    tasks_per_processor=2,
+                    d=d,
+                    chain_words_per_depth=words_per_depth,
+                )
+                res = BLogMachine(cfg).run(tree)
+                rows.append(
+                    {
+                        "chain_words/depth": words_per_depth,
+                        "D": d,
+                        "makespan": res.makespan,
+                        "net_words": res.network_words_moved,
+                    }
+                )
+        return rows
+
+    rows = benchmark(run)
+    emit("E6", "D x chain-size interaction", rows)
+    # heavier chains move more data at the same D
+    light = next(r for r in rows if r["chain_words/depth"] == 4 and r["D"] == 0.0)
+    heavy = next(r for r in rows if r["chain_words/depth"] == 32 and r["D"] == 0.0)
+    if heavy["net_words"] and light["net_words"]:
+        assert heavy["net_words"] > light["net_words"]
+
+
+def test_e6_adaptive_d_controller(benchmark):
+    """§6: "D can be modified at run time, based on the measured
+    communication overhead."  The multiplicative controller vs fixed
+    settings: started too high it walks down (idle-dominated windows),
+    started too low on heavy chains it walks up (comm-dominated)."""
+    wl = synthetic_tree(branching=3, depth=5, seed=33)
+
+    def run_machine(d, adaptive, chain_words=32):
+        tree = OrTree(wl.program, wl.query, weight_fn=lambda k: 1.0, max_depth=32)
+        cfg = MachineConfig(
+            n_processors=8,
+            tasks_per_processor=2,
+            d=d,
+            adaptive_d=adaptive,
+            adapt_window=8,
+            chain_words_per_depth=chain_words,
+        )
+        return BLogMachine(cfg).run(tree)
+
+    def run():
+        rows = []
+        for d0, adaptive, label in [
+            (1e6, False, "fixed D=1e6 (frozen)"),
+            (1e6, True, "adaptive from 1e6"),
+            (0.0, False, "fixed D=0 (greedy)"),
+            (0.0, True, "adaptive from 0"),
+        ]:
+            res = run_machine(d0, adaptive)
+            rows.append(
+                {
+                    "setting": label,
+                    "makespan": res.makespan,
+                    "final_D": res.final_d if res.final_d < 1e5 else float("inf"),
+                    "rebalances": res.rebalances,
+                    "idle_pulls": res.idle_pulls,
+                    "updates": len(res.d_trajectory),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E6", "run-time adaptive D vs fixed settings", rows)
+    adaptive_hi = next(r for r in rows if r["setting"] == "adaptive from 1e6")
+    assert adaptive_hi["updates"] > 0

@@ -1,0 +1,269 @@
+"""E7 — SPD study: semantic vs fixed paging, SIMD vs MIMD, and the
+multiply-write memory ablation (§6's database-machine claims).
+
+Expected shapes: semantic paging beats fixed paging on pointer-chasing
+access patterns (fewer disk cycles for the same blocks); SIMD needs no
+more cylinder loads than MIMD needs track loads for wide pages;
+multiply-write copy cost grows ~w + k while conventional grows ~w·k.
+"""
+
+from conftest import emit
+
+from repro.linkdb import LinkedDatabase
+from repro.machine import ConventionalRAM, MultiWriteRAM
+from repro.spd import FixedPager, SemanticPagingDisk, SimdSpd
+from repro.workloads import scaled_family
+
+
+def make_db(gens=5):
+    fam = scaled_family(gens, 2, 3, seed=40)
+    return LinkedDatabase(fam.program)
+
+
+def test_e7_semantic_vs_fixed_paging(benchmark):
+    db = make_db()
+
+    def run():
+        rows = []
+        for radius in (1, 2, 3):
+            spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+            page = spd.page_in([0], radius=radius)
+            pager = FixedPager(db, blocks_per_page=4, cache_pages=2)
+            pager.touch_all(sorted(page.blocks))
+            rows.append(
+                {
+                    "radius": radius,
+                    "blocks": len(page.blocks),
+                    "semantic_cycles": page.cycles,
+                    "fixed_cycles": pager.cycles,
+                    "fixed_hit_rate": pager.hit_rate,
+                    "advantage": pager.cycles / page.cycles if page.cycles else 0,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E7", "semantic vs fixed-size paging (same blocks served)", rows)
+    assert all(r["semantic_cycles"] <= r["fixed_cycles"] for r in rows if r["blocks"] > 4)
+
+
+def test_e7_cache_size_sweep(benchmark):
+    """Fixed-pager hit rate vs cache size on a pointer-chasing trace."""
+    db = make_db()
+    spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+    trace = sorted(spd.page_in([0], radius=3).blocks)
+
+    def run():
+        rows = []
+        for pages in (1, 2, 4, 8, 16):
+            pager = FixedPager(db, blocks_per_page=4, cache_pages=pages)
+            pager.touch_all(trace)
+            pager.touch_all(trace)  # second pass measures retention
+            rows.append(
+                {
+                    "cache_pages": pages,
+                    "hit_rate": pager.hit_rate,
+                    "faults": pager.faults,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E7", "fixed-pager hit rate vs cache size (2 passes)", rows)
+    hit_rates = [r["hit_rate"] for r in rows]
+    assert hit_rates == sorted(hit_rates)
+
+
+def test_e7_simd_vs_mimd_loads(benchmark):
+    db = make_db()
+
+    def run():
+        rows = []
+        for n_sps in (2, 4, 8):
+            simd = SimdSpd(db, n_sps=n_sps, track_words=128)
+            sp_page = simd.page_in([0], radius=3)
+            mimd = SemanticPagingDisk(db, n_sps=n_sps, track_words=128)
+            mp_page = mimd.page_in([0], radius=3)
+            rows.append(
+                {
+                    "SPs": n_sps,
+                    "simd_loads": simd.track_loads,
+                    "mimd_loads": mp_page.track_loads,
+                    "simd_cycles": sp_page.cycles,
+                    "mimd_cycles": mp_page.cycles,
+                    "same_page": sp_page.blocks == mp_page.blocks,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E7", "SIMD vs MIMD page extraction", rows)
+    assert all(r["same_page"] for r in rows)
+    assert all(r["simd_loads"] <= r["mimd_loads"] for r in rows)
+
+
+def test_e7_multiwrite_ablation(benchmark):
+    """Chain-sprouting copy costs: conventional vs multiply-write."""
+
+    def run():
+        rows = []
+        for words in (16, 64, 256):
+            for copies in (2, 8, 32):
+                cv = ConventionalRAM.copy_cost(words, copies).cycles
+                mw = MultiWriteRAM.copy_cost(words, copies).cycles
+                rows.append(
+                    {
+                        "chain_words": words,
+                        "copies": copies,
+                        "conventional": cv,
+                        "multiwrite": mw,
+                        "speedup": cv / mw,
+                    }
+                )
+        return rows
+
+    rows = benchmark(run)
+    emit("E7", "multiply-write memory ablation", rows)
+    big = next(r for r in rows if r["chain_words"] == 256 and r["copies"] == 32)
+    assert big["speedup"] > 10
+
+
+def test_e7_multiwrite_functional_check(benchmark):
+    """The functional model: 8 copies of a 64-word chain, bit-exact."""
+
+    def run():
+        ram = MultiWriteRAM(64 * 10)
+        data = list(range(64))
+        ram.load_block(0, data)
+        dsts = [64 * (i + 1) for i in range(8)]
+        cost = ram.multi_copy(0, dsts, 64)
+        return ram, dsts, data, cost
+
+    ram, dsts, data, cost = benchmark(run)
+    for d in dsts:
+        assert ram.read_block(d, 64) == data
+    emit(
+        "E7",
+        "multiply-write functional run (8 copies x 64 words)",
+        [{"reads": cost.reads, "writes": cost.writes, "setup": cost.setup, "cycles": cost.cycles}],
+    )
+
+
+def test_e7_weight_writeback_cost(benchmark):
+    """The §5 maintenance bill: persisting a session's learned weights
+    back into the disk-resident records (mark + update per dirty block)."""
+    from repro.core import BLogConfig, BLogEngine
+    from repro.spd.weights_io import write_back_weights
+    from repro.weights import WeightStore
+
+    fam = scaled_family(4, 2, 2, seed=41)
+
+    def run():
+        store = WeightStore(n=16, a=16)
+        db = LinkedDatabase(fam.program, store)
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+        eng = BLogEngine(fam.program, BLogConfig(n=16, a=16, max_depth=64),
+                         global_store=store)
+        eng.begin_session()
+        eng.query(f"anc({fam.roots[0]}, D)")
+        eng.end_session()
+        return write_back_weights(spd, store)
+
+    report = benchmark(run)
+    assert report.dirty_pointers > 0
+    emit(
+        "E7",
+        "session-end weight write-back (the §5 update-complexity bill)",
+        [
+            {
+                "dirty_pointers": report.dirty_pointers,
+                "blocks_touched": report.blocks_touched,
+                "track_loads": report.track_loads,
+                "words_written": report.words_written,
+                "disk_cycles": round(report.cycles),
+            }
+        ],
+    )
+
+
+def test_e7_unified_vs_split_layout(benchmark):
+    """§6: "there is little reason to have a separate database for rules
+    and for facts as in PRISM".  Measured both ways on a page stream:
+    the split layout keeps the hot rule tracks resident (fewer total
+    cycles on rule-heavy reuse) but concentrates traffic on the fact
+    SPs (worse balance — less search-parallelism); the unified layout
+    spreads load across all SPs.  The §6 argument is really about
+    storage economy (inline pointers need no cross-database
+    indirection), which the block model gives for free either way."""
+    fam = scaled_family(5, 2, 3, seed=40)
+    db = LinkedDatabase(fam.program)
+
+    def run():
+        rows = []
+        for layout in ("unified", "split"):
+            spd = SemanticPagingDisk(db, n_sps=4, track_words=128, layout=layout)
+            cycles = 0.0
+            for start in range(0, len(db), 3):
+                cycles += spd.page_in([start], radius=2).cycles
+            loads = [sp.stats.track_loads for sp in spd.sps]
+            mean = sum(loads) / len(loads)
+            rows.append(
+                {
+                    "layout": layout,
+                    "total_cycles": round(cycles),
+                    "per_sp_loads": str(loads),
+                    "imbalance": round(max(loads) / mean, 2) if mean else 0,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E7", "unified vs PRISM-style split rule/fact layout", rows)
+    by = {r["layout"]: r for r in rows}
+    assert by["unified"]["imbalance"] <= by["split"]["imbalance"]
+
+
+def test_e7_multiwrite_on_real_copy_trace(benchmark):
+    """The §6 copy-traffic claim on a *real* query: total words the
+    OR-tree materializes, priced under conventional vs multiply-write
+    memory (one copy per generated child)."""
+    from repro.ortree import OrTree
+
+    fam = scaled_family(4, 2, 2, seed=42)
+
+    def run():
+        tree = OrTree(fam.program, f"anc({fam.roots[0]}, D)", max_depth=64)
+        tree.expand_all()
+        words = tree.words_copied
+        children = tree.generated
+        avg_words = max(1, words // max(1, children))
+        cv = sum(
+            ConventionalRAM.copy_cost(avg_words, 1).cycles for _ in range(children)
+        )
+        mw = sum(
+            MultiWriteRAM.copy_cost(avg_words, 1).cycles for _ in range(children)
+        )
+        # fan-out batching: children of one expansion share the source
+        # chain, so the multiply-write path copies once per expansion
+        batched = 0
+        for node in tree.nodes:
+            k = len(node.children)
+            if k:
+                batched += MultiWriteRAM.copy_cost(avg_words, k).cycles
+        return words, children, cv, mw, batched
+
+    words, children, cv, mw, batched = benchmark(run)
+    emit(
+        "E7",
+        "copy traffic of a real query (anc over a family)",
+        [
+            {
+                "words_copied": words,
+                "children": children,
+                "conventional_cycles": cv,
+                "multiwrite_per_child": mw,
+                "multiwrite_batched": batched,
+            }
+        ],
+    )
+    assert batched <= cv

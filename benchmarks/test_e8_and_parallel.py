@@ -1,0 +1,202 @@
+"""E8 — AND-parallelism (§7): independence detection, parallel
+conjunction speedup, and the semi-join plan.
+
+Expected shapes: independent conjunctions show AND-parallel speedup ≈
+number of groups on balanced work; the compile-time detector under the
+head-ground assumption finds parallelism that the naive analysis
+misses; semi-join beats nested-loop increasingly as the join gets more
+selective.
+"""
+
+from conftest import emit
+
+from repro.andpar import (
+    AndParallelExecutor,
+    clause_dependency_report,
+    nested_loop_join,
+    semi_join,
+)
+from repro.logic import Solver
+from repro.workloads import family_program, map_coloring_program, scaled_family
+
+
+def test_e8_independence_detection(benchmark):
+    fam = scaled_family(4, 2, 2, seed=50)
+
+    def run():
+        naive = clause_dependency_report(fam.program, assume_head_ground=False)
+        informed = clause_dependency_report(fam.program, assume_head_ground=True)
+        return naive, informed
+
+    naive, informed = benchmark(run)
+    rows = []
+    for n, i in zip(naive, informed):
+        rows.append(
+            {
+                "clause": str(n.clause)[:44],
+                "naive_groups": n.parallel_width,
+                "head_ground_groups": i.parallel_width,
+            }
+        )
+    emit("E8", "compile-time independence (naive vs head-ground)", rows)
+    assert sum(i.parallel_width for i in informed) >= sum(
+        n.parallel_width for n in naive
+    )
+
+
+def test_e8_and_parallel_speedup(benchmark):
+    """Independent sub-queries of increasing width."""
+    program = family_program()
+    queries = {
+        1: "gf(sam, G1)",
+        2: "gf(sam, G1), gf(curt, G2)",
+        3: "gf(sam, G1), gf(curt, G2), f(dan, C3)",
+    }
+
+    def run():
+        rows = []
+        for width, q in queries.items():
+            res = AndParallelExecutor(program).run(q)
+            rows.append(
+                {
+                    "groups": res.parallel_width,
+                    "total_inferences": res.total_inferences,
+                    "critical_path": res.critical_path_inferences,
+                    "and_speedup": res.and_parallel_speedup,
+                    "answers": len(res.answers),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E8", "AND-parallel speedup vs conjunction width", rows)
+    assert rows[-1]["and_speedup"] >= rows[0]["and_speedup"]
+
+
+def test_e8_deterministic_vs_nondeterministic(benchmark):
+    """§7: AND-parallelism is 'very effective in speeding up highly
+    deterministic programs'.  Compare a deterministic conjunction
+    (ground checks) with a nondeterministic one (open generators)."""
+    program = family_program()
+
+    def run():
+        det = AndParallelExecutor(program).run("gf(sam, den), gf(curt, john)")
+        nondet = AndParallelExecutor(program).run("gf(X1, den), gf(X2, john)")
+        return det, nondet
+
+    det, nondet = benchmark(run)
+    emit(
+        "E8",
+        "deterministic vs nondeterministic conjunctions",
+        [
+            {
+                "kind": "deterministic (ground)",
+                "groups": det.parallel_width,
+                "speedup": det.and_parallel_speedup,
+            },
+            {
+                "kind": "nondeterministic (open)",
+                "groups": nondet.parallel_width,
+                "speedup": nondet.and_parallel_speedup,
+            },
+        ],
+    )
+    assert det.parallel_width == 2
+
+
+def test_e8_semijoin_selectivity_sweep(benchmark):
+    """Join work vs selectivity: the SPD semi-join's advantage grows as
+    fewer right tuples participate."""
+    fam = scaled_family(6, 2, 4, seed=51)
+    solver = Solver(fam.program, max_depth=64)
+    f_rows = [(str(s["A"]), str(s["B"])) for s in solver.solve_all("f(A, B)")]
+
+    def run():
+        rows = []
+        for n_left in (1, 4, 16, len(f_rows)):
+            left = f_rows[:n_left]
+            _, nl = nested_loop_join(left, f_rows, 1, 0)
+            _, sj = semi_join(left, f_rows, 1, 0)
+            rows.append(
+                {
+                    "left_rows": len(left),
+                    "right_rows": len(f_rows),
+                    "nested_loop_work": nl.comparisons,
+                    "semijoin_work": sj.comparisons + sj.marks,
+                    "reduction": sj.reduced_right,
+                    "matches": sj.output_rows,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E8", "semi-join vs nested loop over join selectivity", rows)
+    assert all(r["semijoin_work"] <= r["nested_loop_work"] for r in rows)
+
+
+def test_e8_map_coloring_joins(benchmark):
+    """Shared-variable conjunctions on map coloring: the executor falls
+    back to a single sequential group (correctly), while the relational
+    plan still answers via joins."""
+    mi = map_coloring_program()
+
+    def run():
+        return AndParallelExecutor(mi.program, max_depth=64).run(mi.query)
+
+    res = benchmark(run)
+    emit(
+        "E8",
+        "map coloring through the AND-parallel executor",
+        [
+            {
+                "groups": res.parallel_width,
+                "answers": len(res.answers),
+                "sequential_inferences": res.sequential_inferences,
+            }
+        ],
+    )
+    assert res.parallel_width == 1
+    assert res.answers
+
+
+def test_e8_cge_guard_rates(benchmark):
+    """Restricted AND-parallelism (DeGroot CGEs): how often the
+    compile-time guards pass at run time, per call pattern."""
+    from repro.andpar import CgeExecutor, compile_clause
+    from repro.logic import Bindings, parse_clause, parse_query, unify
+    from repro.logic.solver import _rename_clause
+    from repro.logic import Program
+
+    program = Program.from_source(
+        """
+        q(1). q(2). r(1). r(3). s(a).
+        """
+    )
+    clause = parse_clause("p(X) :- q(X), r(X).")
+    plan = compile_clause(clause)
+
+    def run():
+        rows = []
+        for call, label in [("p(1)", "ground call"), ("p(W)", "open call")]:
+            head, body = _rename_clause(clause)
+            (goal,) = parse_query(call)
+            b = Bindings()
+            assert unify(goal, head, b)
+            goals = tuple(b.resolve(g) for g in body)
+            rec = CgeExecutor(program).run(goals, plan)
+            rows.append(
+                {
+                    "call": label,
+                    "guards_true": rec.guards_true,
+                    "ran_parallel": rec.ran_parallel,
+                    "answers": len(rec.answers),
+                    "speedup": round(rec.speedup, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit("E8", "CGE run-time guards: ground vs open calls", rows)
+    ground = next(r for r in rows if r["call"] == "ground call")
+    open_ = next(r for r in rows if r["call"] == "open call")
+    assert ground["ran_parallel"] and not open_["ran_parallel"]

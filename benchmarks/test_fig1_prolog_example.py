@@ -1,0 +1,59 @@
+"""F1 — Figure 1: the Prolog example.
+
+Regenerates the figure's three parts: the rules, the facts, and the
+execution trace of ``?- gf(sam, G)`` under the depth-first baseline
+(den found first via rule 1 / f(sam,larry) / f(larry,den), then doug).
+Benchmarks the baseline engine on the same query.
+"""
+
+from conftest import emit, emit_text
+
+from repro.logic import Solver
+from repro.workloads import FIGURE1_QUERY, FIGURE1_SOURCE
+
+
+def test_fig1_listing_and_trace(benchmark, figure1_program):
+    solver = Solver(figure1_program)
+
+    def run():
+        return [str(s["G"]) for s in Solver(figure1_program).solve_all(FIGURE1_QUERY)]
+
+    answers = benchmark(run)
+    assert answers == ["den", "doug"]
+
+    emit_text("F1", "Prolog listing (figure 1)", FIGURE1_SOURCE.strip())
+    solver = Solver(figure1_program)
+    sols = solver.solve_all(FIGURE1_QUERY)
+    rows = [
+        {
+            "step": i + 1,
+            "answer": f"G = {s['G']}",
+            "resolution": "gf rule 1, f(sam,larry), f(larry,...)",
+        }
+        for i, s in enumerate(sols)
+    ]
+    emit("F1", f"depth-first answers to ?- {FIGURE1_QUERY}", rows)
+    emit(
+        "F1",
+        "baseline work counters",
+        [
+            {
+                "inferences": solver.stats.inferences,
+                "resolutions": solver.stats.resolutions,
+                "solutions": solver.stats.solutions,
+                "max_depth": solver.stats.max_depth,
+            }
+        ],
+    )
+
+
+def test_fig1_first_solution_latency(benchmark, figure1_program):
+    """Time-to-first-answer, the quantity Prolog's depth-first order
+    optimizes on this example."""
+
+    def first():
+        solver = Solver(figure1_program)
+        return next(iter(solver.solve(FIGURE1_QUERY, max_solutions=1)))
+
+    sol = benchmark(first)
+    assert str(sol["G"]) == "den"

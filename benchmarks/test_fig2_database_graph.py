@@ -1,0 +1,59 @@
+"""F2 — Figure 2: the database as a graph.
+
+Persons are nodes and f/m relations are labeled arcs; rules are graph
+equivalences.  Regenerates the node/arc inventory of the figure and
+benchmarks graph construction on the figure-1 database and a scaled
+family.
+"""
+
+from conftest import emit, emit_text
+
+from repro.linkdb import fact_graph
+from repro.workloads import scaled_family
+
+
+def test_fig2_fact_graph(benchmark, figure1_program):
+    g = benchmark(fact_graph, figure1_program)
+    # the figure's database: 10 facts = 10 arcs over the people
+    assert g.number_of_edges() == 10
+    people = sorted(g.nodes)
+    rows = [
+        {"from": u, "relation": d["label"], "to": v}
+        for u, v, d in sorted(g.edges(data=True), key=lambda e: (e[2]["label"], e[0]))
+    ]
+    emit("F2", "figure-2 arcs (relation facts)", rows)
+    emit(
+        "F2",
+        "graph inventory",
+        [
+            {
+                "persons": g.number_of_nodes(),
+                "arcs": g.number_of_edges(),
+                "f_arcs": sum(1 for *_, d in g.edges(data=True) if d["label"] == "f"),
+                "m_arcs": sum(1 for *_, d in g.edges(data=True) if d["label"] == "m"),
+            }
+        ],
+    )
+    emit_text("F2", "persons", ", ".join(people))
+
+
+def test_fig2_scaled_database(benchmark):
+    """The same view over a generated family — the database the SPD
+    experiments page against."""
+    fam = scaled_family(5, 2, 3, seed=0)
+    g = benchmark(fact_graph, fam.program)
+    assert g.number_of_nodes() == len(
+        set(fam.fathers) | set(fam.fathers.values()) | set(fam.mothers.values())
+    )
+    emit(
+        "F2",
+        "scaled family graph (5 generations)",
+        [
+            {
+                "persons": g.number_of_nodes(),
+                "arcs": g.number_of_edges(),
+                "facts": len(fam.program.facts()),
+                "rules": len(fam.program.rules()),
+            }
+        ],
+    )

@@ -1,0 +1,78 @@
+"""F3 — Figure 3: the OR search tree for ?- gf(sam, G).
+
+Regenerates the full tree: 7 nodes, two solution chains (den, doug) and
+the failing m-branch, rendered in the figure's shape.  Benchmarks full
+tree development.
+"""
+
+from conftest import emit, emit_text
+
+from repro.ortree import OrTree
+from repro.workloads import FIGURE1_QUERY
+
+
+def build(program):
+    tree = OrTree(program, FIGURE1_QUERY)
+    tree.expand_all()
+    return tree
+
+
+def test_fig3_tree_structure(benchmark, figure1_program):
+    tree = benchmark(build, figure1_program)
+    assert len(tree.nodes) == 7
+    assert len(tree.solutions()) == 2
+    assert len(tree.failures()) == 1
+    emit_text("F3", "the OR-tree (figure 3)", tree.render())
+    emit(
+        "F3",
+        "tree inventory",
+        [
+            {
+                "nodes": len(tree.nodes),
+                "solutions": len(tree.solutions()),
+                "failures": len(tree.failures()),
+                "arcs": len(tree.arcs),
+                "expansions": tree.expansions,
+            }
+        ],
+    )
+    rows = []
+    for sol in tree.solutions():
+        chain = " -> ".join(
+            (", ".join(str(g) for g in n.goals) or "solution") for n in tree.chain(sol.nid)
+        )
+        rows.append({"answer": str(tree.solution_answer(sol)["G"]), "chain": chain})
+    emit("F3", "solution chains", rows)
+
+
+def test_fig3_scaling(benchmark):
+    """Tree size growth on scaled families (context for E5's frontiers)."""
+    from repro.workloads import scaled_family
+
+    rows = []
+    for gens in (3, 4, 5):
+        fam = scaled_family(gens, 2, 2, seed=1)
+        q = f"anc({fam.roots[0]}, D)"
+
+        tree = OrTree(fam.program, q, max_depth=64)
+        tree.expand_all()
+        rows.append(
+            {
+                "generations": gens,
+                "nodes": len(tree.nodes),
+                "solutions": len(tree.solutions()),
+                "failures": len(tree.failures()),
+            }
+        )
+    emit("F3", "OR-tree growth with database size (anc queries)", rows)
+
+    fam = scaled_family(4, 2, 2, seed=1)
+    q = f"anc({fam.roots[0]}, D)"
+
+    def run():
+        t = OrTree(fam.program, q, max_depth=64)
+        t.expand_all()
+        return t
+
+    tree = benchmark(run)
+    assert tree.solutions()

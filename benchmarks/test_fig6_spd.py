@@ -1,0 +1,115 @@
+"""F6 — Figure 6: the Semantic Paging Disk.
+
+Exercises the SPD's three logic operations on a real linked database:
+associative search-and-mark, pointer following to Hamming distance N,
+and marked-record update; reports track/cache behaviour for the
+figure's cache-oriented design.
+"""
+
+from conftest import emit
+
+from repro.linkdb import LinkedDatabase
+from repro.spd import SemanticPagingDisk, SimdSpd
+from repro.workloads import scaled_family
+
+
+def make_db():
+    fam = scaled_family(5, 2, 3, seed=3)
+    return LinkedDatabase(fam.program)
+
+
+def test_fig6_logic_operations(benchmark):
+    db = make_db()
+    spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+    sp = spd.sps[0]
+
+    def ops():
+        sp.load_cylinder(0)
+        sp.clear_marks()
+        marked, c1 = sp.search_mark(lambda r: r.payload == ("anc", 2))
+        newly, deferred, c2 = sp.follow_marks()
+        c3 = sp.update_marked(lambda r: r, words_touched=1)
+        return marked, newly, deferred, c1 + c2 + c3
+
+    marked, newly, deferred, cycles = benchmark(ops)
+    emit(
+        "F6",
+        "SPD logic ops on one cached track",
+        [
+            {
+                "op1_marked": len(marked | set()),
+                "op2_marked": len(newly),
+                "op2_deferred": len(deferred),
+                "cache_cycles": cycles,
+                "track_records": len(sp.cache.records),
+            }
+        ],
+    )
+
+
+def test_fig6_semantic_page_extraction(benchmark):
+    db = make_db()
+
+    def extract():
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+        return spd.page_in([0], radius=2), spd
+
+    page, spd = benchmark(extract)
+    stats = spd.combined_stats()
+    assert page.blocks
+    emit(
+        "F6",
+        "semantic page: start block 0, Hamming radius 2",
+        [
+            {
+                "page_blocks": len(page.blocks),
+                "track_loads": page.track_loads,
+                "disk_cycles": page.cycles,
+                "cross_track_ptrs": stats.cross_cylinder_pointers,
+            }
+        ],
+    )
+    rows = []
+    for radius in (0, 1, 2, 3):
+        spd2 = SemanticPagingDisk(db, n_sps=2, track_words=256)
+        p = spd2.page_in([0], radius=radius)
+        rows.append(
+            {
+                "radius": radius,
+                "blocks": len(p.blocks),
+                "track_loads": p.track_loads,
+                "cycles": p.cycles,
+            }
+        )
+    emit("F6", "page size and cost vs Hamming radius", rows)
+
+
+def test_fig6_simd_vs_mimd(benchmark):
+    db = make_db()
+
+    def simd_extract():
+        spd = SimdSpd(db, n_sps=4, track_words=128)
+        return spd.page_in([0], radius=3), spd
+
+    page, spd = benchmark(simd_extract)
+    mimd = SemanticPagingDisk(db, n_sps=4, track_words=128)
+    mpage = mimd.page_in([0], radius=3)
+    assert page.blocks == mpage.blocks
+    emit(
+        "F6",
+        "SIMD vs MIMD SP modes, same page (radius 3)",
+        [
+            {
+                "mode": "SIMD (cylinder-synchronous)",
+                "track_loads": spd.track_loads,
+                "cycles": page.cycles,
+                "deferred_served": spd.deferred_served,
+            },
+            {
+                "mode": "MIMD (independent SPs)",
+                "track_loads": mpage.track_loads,
+                "cycles": mpage.cycles,
+                "deferred_served": mpage.deferred_followed,
+            },
+        ],
+    )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The AND/OR process model vs B-LOG's OR-tree (§2's modeling choice).
+
+Runs the same queries through both models, showing the tree shapes,
+the join work the AND/OR model pays, the ideal AND∥OR speedup it can
+expose — and then places its task graph on finite machines with list
+scheduling.
+
+Run:  python examples/andor_model.py
+"""
+
+from repro.machine import list_schedule
+from repro.ortree import AndOrEvaluator, OrTree, breadth_first
+from repro.reporting import print_table
+from repro.workloads import family_program, synthetic_tree
+
+
+def main() -> None:
+    program = family_program()
+    wl = synthetic_tree(branching=3, depth=4, seed=5)
+
+    rows = []
+    for label, prog, query, depth in [
+        ("gf(sam,G)", program, "gf(sam, G)", 32),
+        ("two independent gf's", program, "gf(sam, G1), gf(curt, G2)", 32),
+        ("synthetic b=3 d=4", wl.program, wl.query, 32),
+    ]:
+        tree = OrTree(prog, query, max_depth=depth)
+        breadth_first(tree)
+        ao = AndOrEvaluator(prog, max_depth=depth).run(query)
+        rows.append(
+            {
+                "query": label,
+                "or_nodes": len(tree.nodes),
+                "andor_nodes": ao.stats.or_nodes + ao.stats.and_nodes,
+                "join_work": ao.stats.join_work,
+                "ideal_speedup": round(ao.ideal_speedup, 2),
+                "answers": len(ao.answers),
+            }
+        )
+    print_table("OR-tree (B-LOG, §2) vs AND/OR process model [4]", rows)
+
+    # --- schedule the AND/OR task graph on finite machines -----------------
+    res = AndOrEvaluator(wl.program, max_depth=32).run(wl.query, record_tasks=True)
+    graph = res.task_graph
+    print(
+        f"\nAND/OR task graph for the synthetic query: "
+        f"{len(graph.durations)} tasks, {len(graph.edges)} precedence "
+        f"edges, critical path {graph.critical_path():g}"
+    )
+    rows = []
+    for n in (1, 2, 4, 8, 16):
+        sched = list_schedule(graph, n)
+        rows.append(
+            {
+                "processors": n,
+                "makespan": sched.makespan,
+                "speedup": round(sched.speedup, 2),
+                "efficiency": round(sched.efficiency, 2),
+            }
+        )
+    print_table("list-scheduled on N processors", rows)
+    print(
+        "\nB-LOG linearizes conjunctions 'in very much the same way Prolog\n"
+        "does' (§2) and wins on join-free execution; the AND/OR model\n"
+        "exposes conjunction parallelism B-LOG leaves on the table — the\n"
+        "trade §7 revisits with its AND-parallel extensions."
+    )
+
+
+if __name__ == "__main__":
+    main()

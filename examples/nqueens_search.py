@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""N-queens: a non-deterministic search workload through every engine.
+
+Solves 6-queens with (a) the Prolog baseline, (b) the B-LOG best-first
+engine, and (c) the OS-process OR-parallel backend, and prints the
+boards plus work accounting.  OR-parallelism "is specially effective in
+speeding up non-deterministic programs, specially when more than one
+solution is needed" (§7) — the per-branch solution counts show why.
+
+Run:  python examples/nqueens_search.py
+"""
+
+import time
+
+from repro import BLogConfig, BLogEngine, Solver
+from repro.core import or_parallel_solve
+from repro.workloads import board_from_term, nqueens_program, nqueens_query
+
+
+def render(board: list[int]) -> str:
+    n = len(board)
+    lines = []
+    for row in range(n, 0, -1):
+        cells = ["Q" if board[col] == row else "." for col in range(n)]
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    n = 6
+    program = nqueens_program(n)
+
+    # (a) Prolog baseline
+    solver = Solver(program, max_depth=8 * n + 32)
+    t0 = time.perf_counter()
+    boards = [
+        board_from_term(s["Qs"]) for s in solver.solve(nqueens_query())
+    ]
+    t_prolog = time.perf_counter() - t0
+    print(f"{n}-queens: {len(boards)} solutions")
+    print(f"  Prolog baseline: {solver.stats.inferences} inferences, "
+          f"{t_prolog * 1000:.1f} ms")
+    print("\nFirst board:")
+    print(render(boards[0]))
+
+    # (b) B-LOG engine
+    engine = BLogEngine(program, BLogConfig(max_depth=520))
+    t0 = time.perf_counter()
+    result = engine.query(nqueens_query())
+    t_blog = time.perf_counter() - t0
+    print(
+        f"\n  B-LOG engine: {result.expansions} expansions, "
+        f"{len(result.answers)} answers, {t_blog * 1000:.1f} ms"
+    )
+    assert len(result.answers) == len(boards)
+
+    # (c) OR-parallel over OS processes
+    t0 = time.perf_counter()
+    par = or_parallel_solve(program, nqueens_query(), processes=4,
+                            max_depth=8 * n + 32)
+    t_par = time.perf_counter() - t0
+    print(
+        f"  OR-parallel (4 processes): {len(par.answers)} answers over "
+        f"{par.branches} branches, per-branch counts "
+        f"{par.per_branch_solutions}, {t_par * 1000:.1f} ms"
+    )
+    assert len(par.answers) == len(boards)
+    print(
+        "\n(Process fork+pickle overhead usually swamps a board this "
+        "small — exactly the communication cost the paper's D threshold "
+        "models; try n=8 to see the crossover.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

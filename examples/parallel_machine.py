@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The simulated parallel B-LOG machine (§6) on a bushy search.
+
+Builds the linked clause database, lays it out over semantic paging
+disks, and runs the N-processor machine over a synthetic OR-tree at
+several machine sizes, reporting makespan, speedup, utilization, chain
+migrations and disk behaviour — the figure-5 environment, live.
+
+Run:  python examples/parallel_machine.py
+"""
+
+from repro.linkdb import LinkedDatabase
+from repro.machine import BLogMachine, MachineConfig
+from repro.ortree import OrTree
+from repro.reporting import print_table
+from repro.spd import SemanticPagingDisk
+from repro.workloads import synthetic_tree
+
+
+def main() -> None:
+    wl = synthetic_tree(branching=3, depth=5, dead_fraction=0.34, seed=7)
+    print(
+        f"Workload: synthetic OR-tree, branching {wl.branching}, depth "
+        f"{wl.depth}, {wl.n_dead_branches} dead subtree(s), "
+        f"{wl.n_solutions} solutions\n"
+    )
+
+    rows = []
+    base = None
+    for n_processors in (1, 2, 4, 8, 16):
+        db = LinkedDatabase(wl.program)
+        disk = SemanticPagingDisk(db, n_sps=2, track_words=256)
+        tree = OrTree(wl.program, wl.query, max_depth=32)
+        config = MachineConfig(
+            n_processors=n_processors,
+            tasks_per_processor=2,
+            d=2.0,  # the §6 migration threshold
+        )
+        result = BLogMachine(config, disk=disk).run(tree)
+        if base is None:
+            base = result.makespan
+        rows.append(
+            {
+                "processors": n_processors,
+                "makespan": result.makespan,
+                "speedup": round(base / result.makespan, 2),
+                "utilization": round(result.mean_utilization, 2),
+                "migrations": result.migrations,
+                "net_words": result.network_words_moved,
+                "disk_cycles": round(result.disk_cycles),
+                "answers": len(result.answers),
+            }
+        )
+
+    print_table("B-LOG machine scaling (cycle-level simulation)", rows)
+    print(
+        "\nSpeedup grows while the OR frontier is wider than the machine\n"
+        "and saturates beyond it; the minimum-seeking network spreads\n"
+        "chains from the seed processor (migrations), and local memories\n"
+        "absorb repeat block accesses after the first page-in."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Semantic paging in action (§6, figure 6).
+
+Lays a five-generation family database out over semantic paging disks,
+extracts semantic pages of increasing Hamming radius, and compares the
+disk work against conventional fixed-size paging and against SIMD-mode
+operation.
+
+Run:  python examples/spd_paging.py
+"""
+
+from repro.linkdb import LinkedDatabase
+from repro.reporting import print_table
+from repro.spd import FixedPager, SemanticPagingDisk, SimdSpd
+from repro.workloads import scaled_family
+
+
+def main() -> None:
+    fam = scaled_family(5, 2, 3, seed=3)
+    db = LinkedDatabase(fam.program)
+    print(
+        f"Linked database: {len(db)} blocks, {db.pointer_count} weighted "
+        f"pointers, {db.total_words} words\n"
+    )
+
+    # --- semantic pages of growing radius ---------------------------------
+    rows = []
+    for radius in (0, 1, 2, 3):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+        page = spd.page_in([0], radius=radius)
+        rows.append(
+            {
+                "radius": radius,
+                "page_blocks": len(page.blocks),
+                "track_loads": page.track_loads,
+                "disk_cycles": round(page.cycles),
+            }
+        )
+    print_table("semantic page vs Hamming radius (start: block 0)", rows)
+
+    # --- semantic vs fixed paging -------------------------------------------
+    spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+    page = spd.page_in([0], radius=3)
+    pager = FixedPager(db, blocks_per_page=4, cache_pages=2)
+    pager.touch_all(sorted(page.blocks))
+    print_table(
+        "same blocks, two paging disciplines",
+        [
+            {
+                "discipline": "semantic (graph pages)",
+                "cycles": round(page.cycles),
+            },
+            {
+                "discipline": "fixed 4-block pages, LRU(2)",
+                "cycles": round(pager.cycles),
+            },
+        ],
+    )
+
+    # --- SIMD vs MIMD ------------------------------------------------------------
+    simd = SimdSpd(db, n_sps=4, track_words=128)
+    sp_page = simd.page_in([0], radius=3)
+    mimd = SemanticPagingDisk(db, n_sps=4, track_words=128)
+    mp_page = mimd.page_in([0], radius=3)
+    assert sp_page.blocks == mp_page.blocks
+    print_table(
+        "SIMD vs MIMD SP modes (radius-3 page, 4 SPs)",
+        [
+            {
+                "mode": "SIMD cylinders",
+                "loads": simd.track_loads,
+                "cycles": round(sp_page.cycles),
+            },
+            {
+                "mode": "MIMD tracks",
+                "loads": mp_page.track_loads,
+                "cycles": round(mp_page.cycles),
+            },
+        ],
+    )
+    print(
+        "\nA semantic page is 'a subgraph defined by the state of the\n"
+        "process at run time' — blocks arrive because the search is about\n"
+        "to dereference them, not because they share a page frame."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a full reproduction of *B-LOG: A Branch and Bound
+Methodology for the Parallel Execution of Logic Programs* (Lipovski &
+Hermenegildo, ICPP 1985).
+
+Layers (bottom-up):
+
+* :mod:`repro.logic`     — Prolog-subset substrate (terms, unification,
+  parser, indexed knowledge base, depth-first baseline engine);
+* :mod:`repro.ortree`    — the explicit OR-tree model of §2 and the
+  search strategies of §3;
+* :mod:`repro.bandb`     — generic branch and bound, sequential and
+  synchronous-parallel;
+* :mod:`repro.weights`   — the §4–5 weighting scheme: store, update
+  rules, exact linear-system theory, sessions;
+* :mod:`repro.linkdb`    — the figure-4 linked-list clause database
+  with named weighted pointers;
+* :mod:`repro.core`      — the B-LOG engine (adaptive best-first B&B)
+  and the OS-process OR-parallel backend;
+* :mod:`repro.machine`   — the simulated §6 parallel machine: DES
+  kernel, scoreboard controller, multiply-write memory,
+  minimum-seeking network, migration threshold D;
+* :mod:`repro.spd`       — the semantic paging disk (figure 6), MIMD
+  and SIMD modes, and the fixed-paging baseline;
+* :mod:`repro.andpar`    — §7 AND-parallel extensions: independence
+  analysis, parallel conjunction executor, semi-join;
+* :mod:`repro.workloads` — figure-1 family data and scalable workload
+  generators.
+
+Quick start::
+
+    from repro import BLogEngine, Program
+    from repro.workloads import FIGURE1_SOURCE
+
+    engine = BLogEngine(Program.from_source(FIGURE1_SOURCE))
+    engine.begin_session()
+    result = engine.query("gf(sam,G)")
+    print([str(a["G"]) for a in result.answers])   # ['den', 'doug']
+    engine.end_session()
+"""
+
+from .core import BLogConfig, BLogEngine, BLogSystem, QueryResult
+from .logic import Program, Solver
+from .ortree import OrTree
+from .weights import SessionManager, WeightStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLogEngine",
+    "BLogSystem",
+    "BLogConfig",
+    "QueryResult",
+    "Program",
+    "Solver",
+    "OrTree",
+    "WeightStore",
+    "SessionManager",
+    "__version__",
+]

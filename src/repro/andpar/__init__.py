@@ -1,0 +1,54 @@
+"""AND-parallel extensions (§7): independence analysis, the
+AND-parallel conjunction executor, and the join algorithms including
+the SPD-backed semi-join."""
+
+from .cge import (
+    CgeExecutor,
+    CgeRun,
+    Goal,
+    IfGround,
+    IfIndep,
+    Par,
+    Seq,
+    compile_clause,
+)
+from .exec import AndParallelExecutor, AndParResult
+from .independence import (
+    ClauseDependency,
+    clause_dependency_report,
+    goal_vars,
+    independence_groups,
+    runtime_groups,
+    share_variables,
+)
+from .semijoin import (
+    JoinStats,
+    hash_join,
+    nested_loop_join,
+    semi_join,
+    semi_join_reduce,
+)
+
+__all__ = [
+    "goal_vars",
+    "share_variables",
+    "independence_groups",
+    "runtime_groups",
+    "ClauseDependency",
+    "clause_dependency_report",
+    "AndParallelExecutor",
+    "AndParResult",
+    "JoinStats",
+    "nested_loop_join",
+    "hash_join",
+    "semi_join",
+    "semi_join_reduce",
+    "compile_clause",
+    "CgeExecutor",
+    "CgeRun",
+    "Goal",
+    "Seq",
+    "Par",
+    "IfGround",
+    "IfIndep",
+]

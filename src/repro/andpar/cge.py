@@ -1,0 +1,290 @@
+"""Conditional Graph Expressions — restricted AND-parallelism (§7).
+
+"An alternative to this approach is to do extensive data dependency
+analysis at compile-time" — the reference is DeGroot's Restricted
+And-Parallelism [7], whose execution plans are Conditional Graph
+Expressions: at compile time each clause body becomes a fixed plan
+whose branch points are cheap run-time tests (groundness /
+independence), choosing between parallel and sequential execution of
+goal groups.
+
+Plan grammar (a small, faithful subset of DeGroot's CGEs)::
+
+    Seq(e1, ..., ek)          run sub-expressions in order
+    Par(e1, ..., ek)          run sub-expressions AND-parallel
+    Goal(i)                   execute body literal i
+    IfGround(vars, then, else)  runtime groundness test on vars
+    IfIndep(i, j, then, else)   runtime independence test of two goals
+
+:func:`compile_clause` builds the plan: goals are grouped by
+*potential* sharing (variables that head bindings could ground); where
+groundness of specific variables would split a group, an ``IfGround``
+branch is emitted.  :class:`CgeExecutor` interprets plans against the
+sequential engine, accounting sequential work vs the critical path so
+the parallelism actually won at run time is measurable (E8/E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..logic.parser import Clause
+from ..logic.program import Program
+from ..logic.solver import Solver
+from ..logic.terms import Term, term_vars
+from ..logic.unify import Bindings
+from .independence import goal_vars, independence_groups
+
+__all__ = [
+    "Goal",
+    "Seq",
+    "Par",
+    "IfGround",
+    "IfIndep",
+    "compile_clause",
+    "CgeExecutor",
+    "CgeRun",
+]
+
+
+@dataclass(frozen=True)
+class Goal:
+    index: int  # body literal index
+
+    def render(self) -> str:
+        return f"g{self.index}"
+
+
+@dataclass(frozen=True)
+class Seq:
+    parts: tuple
+
+    def render(self) -> str:
+        return "(" + " ; ".join(p.render() for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Par:
+    parts: tuple
+
+    def render(self) -> str:
+        return "(" + " & ".join(p.render() for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class IfGround:
+    """Runtime guard: the planned partition ``groups`` is valid iff no
+    two groups share a live variable in the *instantiated* body (i.e.
+    the potentially-crossing head variables arrived ground).
+
+    Checking partition validity directly — rather than groundness of
+    clause-local variable ids — keeps the guard meaningful after the
+    clause is renamed apart at the call site."""
+
+    groups: tuple[tuple[int, ...], ...]
+    then: Union["Seq", "Par", "Goal", "IfGround", "IfIndep"]
+    otherwise: Union["Seq", "Par", "Goal", "IfGround", "IfIndep"]
+
+    def render(self) -> str:
+        gs = ",".join("{" + ",".join(f"g{i}" for i in g) + "}" for g in self.groups)
+        return (
+            f"(indep[{gs}] -> {self.then.render()} "
+            f"| {self.otherwise.render()})"
+        )
+
+
+@dataclass(frozen=True)
+class IfIndep:
+    left: int
+    right: int
+    then: Union["Seq", "Par", "Goal", "IfGround", "IfIndep"]
+    otherwise: Union["Seq", "Par", "Goal", "IfGround", "IfIndep"]
+
+    def render(self) -> str:
+        return (
+            f"(indep(g{self.left},g{self.right}) -> {self.then.render()} "
+            f"| {self.otherwise.render()})"
+        )
+
+
+Plan = Union[Goal, Seq, Par, IfGround, IfIndep]
+
+
+def compile_clause(clause: Clause) -> Plan:
+    """Compile a clause body to a CGE.
+
+    Strategy (DeGroot-style, conservative):
+
+    1. Partition body goals ignoring head variables (they may be ground
+       at call time) — these groups can *potentially* run in parallel.
+    2. For the partition to be safe, the head variables shared between
+       different groups must actually be ground at run time — emit one
+       ``IfGround`` guard over exactly those variables; its else-branch
+       is fully sequential.
+    3. Groups of one goal are ``Goal``; bigger groups run sequentially
+       inside (no nested analysis — the "restricted" in RAP).
+    """
+    body = clause.body
+    if not body:
+        return Seq(())
+    if len(body) == 1:
+        return Goal(0)
+    head_ids = {v.id for v in term_vars(clause.head)}
+    optimistic = independence_groups(body, exclude=head_ids)
+    if len(optimistic) == 1:
+        # no parallelism even if the head is ground
+        return Seq(tuple(Goal(i) for i in range(len(body))))
+
+    def group_plan(group: list[int]) -> Plan:
+        if len(group) == 1:
+            return Goal(group[0])
+        return Seq(tuple(Goal(i) for i in group))
+
+    par = Par(tuple(group_plan(g) for g in optimistic))
+    seq = Seq(tuple(Goal(i) for i in range(len(body))))
+
+    # does any (head) variable actually cross groups?  If so, the Par
+    # plan is only valid when those variables arrive ground: guard it.
+    group_vars = [
+        set().union(*(goal_vars(body[i]) for i in g)) for g in optimistic
+    ]
+    crossing = False
+    for gi in range(len(group_vars)):
+        for gj in range(gi + 1, len(group_vars)):
+            if group_vars[gi] & group_vars[gj]:
+                crossing = True
+    if not crossing:
+        return par  # unconditionally independent
+    return IfGround(tuple(tuple(g) for g in optimistic), par, seq)
+
+
+@dataclass
+class CgeRun:
+    """Execution record of one CGE evaluation."""
+
+    answers: list[dict[str, Term]] = field(default_factory=list)
+    sequential_inferences: int = 0
+    critical_path_inferences: int = 0
+    guards_evaluated: int = 0
+    guards_true: int = 0
+    ran_parallel: bool = False
+
+    @property
+    def speedup(self) -> float:
+        if self.critical_path_inferences == 0:
+            return 1.0
+        return self.sequential_inferences / self.critical_path_inferences
+
+
+class CgeExecutor:
+    """Interpret a CGE for one resolved clause-body instance.
+
+    ``run(goals, plan)`` executes the plan against the given *already
+    instantiated* body goals (the executor is used per resolution
+    step).  Parallel parts are solved independently and joined by
+    Cartesian product; work is accounted as sum (sequential) and max
+    (critical path) of part costs.
+    """
+
+    def __init__(self, program: Program, max_depth: int = 256):
+        self.program = program
+        self.max_depth = max_depth
+
+    def run(self, goals: Sequence[Term], plan: Plan) -> CgeRun:
+        record = CgeRun()
+        solutions, seq_cost, cp_cost = self._eval(list(goals), plan, record)
+        record.sequential_inferences = seq_cost
+        record.critical_path_inferences = cp_cost
+        named: dict[str, Term] = {}
+        for g in goals:
+            for v in term_vars(g):
+                if v.name and v.name != "_":
+                    named.setdefault(v.name, v)
+        for sol in solutions:
+            record.answers.append(
+                {name: sol.get(v.id, v) for name, v in named.items()}
+            )
+        return record
+
+    # returns (solutions as var-id maps, sequential cost, critical path)
+    def _eval(self, goals, plan: Plan, record: CgeRun):
+        if isinstance(plan, Goal):
+            return self._solve_goals([goals[plan.index]])
+        if isinstance(plan, Seq):
+            if not plan.parts:
+                return [dict()], 0, 0
+            indices = _plan_goals(plan)
+            return self._solve_goals([goals[i] for i in indices])
+        if isinstance(plan, Par):
+            record.ran_parallel = True
+            part_results = []
+            seq_total, cp_max = 0, 0
+            for part in plan.parts:
+                sols, seq, _cp = self._eval(goals, part, record)
+                part_results.append(sols)
+                seq_total += seq
+                cp_max = max(cp_max, seq)
+            merged = [dict()]
+            for sols in part_results:
+                merged = [
+                    {**acc, **sol} for acc in merged for sol in sols
+                ]
+                if not merged:
+                    break
+            return merged, seq_total, cp_max
+        if isinstance(plan, IfGround):
+            record.guards_evaluated += 1
+            if self._partition_valid(goals, plan.groups):
+                record.guards_true += 1
+                return self._eval(goals, plan.then, record)
+            return self._eval(goals, plan.otherwise, record)
+        if isinstance(plan, IfIndep):
+            record.guards_evaluated += 1
+            li = goal_vars(goals[plan.left])
+            ri = goal_vars(goals[plan.right])
+            if not (li & ri):
+                record.guards_true += 1
+                return self._eval(goals, plan.then, record)
+            return self._eval(goals, plan.otherwise, record)
+        raise TypeError(f"unknown plan node {plan!r}")
+
+    def _partition_valid(self, goals, groups: tuple[tuple[int, ...], ...]) -> bool:
+        """No live variable crosses two groups of the instantiated body."""
+        varsets = [
+            set().union(*(goal_vars(goals[i]) for i in g)) if g else set()
+            for g in groups
+        ]
+        for i in range(len(varsets)):
+            for j in range(i + 1, len(varsets)):
+                if varsets[i] & varsets[j]:
+                    return False
+        return True
+
+    def _solve_goals(self, sub_goals):
+        solver = Solver(self.program, max_depth=self.max_depth)
+        bindings = Bindings(solver.stats.unify)
+        sols = []
+        for _ in solver._solve(tuple(sub_goals), bindings, 0, [False]):
+            sols.append(
+                {
+                    v.id: bindings.resolve(v)
+                    for g in sub_goals
+                    for v in term_vars(g)
+                }
+            )
+        return sols, solver.stats.inferences, solver.stats.inferences
+
+
+def _plan_goals(plan: Plan) -> list[int]:
+    """All goal indices mentioned by a plan, in order."""
+    if isinstance(plan, Goal):
+        return [plan.index]
+    if isinstance(plan, (Seq, Par)):
+        out: list[int] = []
+        for p in plan.parts:
+            out.extend(_plan_goals(p))
+        return out
+    if isinstance(plan, (IfGround, IfIndep)):
+        return _plan_goals(plan.then)
+    raise TypeError(f"unknown plan node {plan!r}")

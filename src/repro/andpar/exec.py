@@ -1,0 +1,148 @@
+"""AND-parallel execution of conjunctions (§7).
+
+Independent goal groups (no shared variables) run "in parallel":
+each group is solved separately by the sequential engine and the
+per-group answer sets are combined by Cartesian product — sound
+precisely because no variable crosses groups.  The executor reports
+both the *total* work (sum over groups: what one processor would do)
+and the *critical path* (max over groups: ideal AND-parallel time), so
+E8 can quote the AND-parallel speedup the paper expects "specially
+[for] highly deterministic programs".
+
+Goals that *do* share variables fall back to either Prolog-style
+sequential execution or the relational join plan of
+:mod:`repro.andpar.semijoin`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..logic.program import Program
+from ..logic.solver import Solver
+from ..logic.terms import Term, term_vars
+from ..logic.unify import Bindings, unify
+from .independence import independence_groups
+
+__all__ = ["AndParResult", "AndParallelExecutor"]
+
+
+@dataclass
+class AndParResult:
+    """Outcome of one AND-parallel conjunction evaluation."""
+
+    answers: list[dict[str, Term]] = field(default_factory=list)
+    groups: list[list[int]] = field(default_factory=list)
+    group_inferences: list[int] = field(default_factory=list)
+    sequential_inferences: int = 0  # what plain Prolog spent on the same query
+
+    @property
+    def parallel_width(self) -> int:
+        return len(self.groups)
+
+    @property
+    def total_inferences(self) -> int:
+        return sum(self.group_inferences)
+
+    @property
+    def critical_path_inferences(self) -> int:
+        """Ideal AND-parallel time: the slowest group."""
+        return max(self.group_inferences, default=0)
+
+    @property
+    def and_parallel_speedup(self) -> float:
+        """Sequential work / critical path (>= 1 when groups split)."""
+        cp = self.critical_path_inferences
+        if cp == 0:
+            return 1.0
+        return self.sequential_inferences / cp
+
+
+class AndParallelExecutor:
+    """Evaluate conjunctions with independent groups in parallel.
+
+    Parameters
+    ----------
+    program:
+        The knowledge base.
+    max_depth:
+        Depth bound handed to the per-group sequential solvers.
+    max_solutions_per_group:
+        Safety valve on group answer-set size before the product.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        max_depth: int = 256,
+        max_solutions_per_group: int = 10_000,
+    ):
+        self.program = program
+        self.max_depth = max_depth
+        self.max_solutions_per_group = max_solutions_per_group
+
+    def run(self, query: str | Sequence[Term]) -> AndParResult:
+        """Solve ``query``; groups execute independently, then product.
+
+        Answer *sets* equal the sequential engine's (order differs:
+        group-product order instead of strict Prolog order) — tested in
+        the E8 suite.
+        """
+        from ..logic.parser import parse_query
+
+        goals = parse_query(query) if isinstance(query, str) else tuple(query)
+        result = AndParResult()
+        result.groups = independence_groups(goals)
+
+        # sequential baseline work for the speedup quotation
+        seq_solver = Solver(self.program, max_depth=self.max_depth)
+        seq_answers = seq_solver.solve_all(goals)
+        result.sequential_inferences = seq_solver.stats.inferences
+
+        named_vars: dict[str, Term] = {}
+        for g in goals:
+            for v in term_vars(g):
+                if v.name and v.name != "_":
+                    named_vars.setdefault(v.name, v)
+
+        # solve each group independently
+        group_solutions: list[list[dict[int, Term]]] = []
+        for group in result.groups:
+            sub_goals = tuple(goals[i] for i in group)
+            solver = Solver(self.program, max_depth=self.max_depth)
+            sols: list[dict[int, Term]] = []
+            bindings = Bindings(solver.stats.unify)
+            count = 0
+            for _ in solver._solve(sub_goals, bindings, 0, [False]):
+                sols.append(
+                    {
+                        v.id: bindings.resolve(v)
+                        for g in sub_goals
+                        for v in term_vars(g)
+                    }
+                )
+                count += 1
+                if count >= self.max_solutions_per_group:
+                    break
+            result.group_inferences.append(solver.stats.inferences)
+            group_solutions.append(sols)
+
+        # Cartesian product of group answers (sound: no shared vars)
+        def product(ix: int, acc: dict[int, Term]) -> None:
+            if ix == len(group_solutions):
+                result.answers.append(
+                    {
+                        name: acc.get(v.id, v)
+                        for name, v in named_vars.items()
+                    }
+                )
+                return
+            for sol in group_solutions[ix]:
+                merged = dict(acc)
+                merged.update(sol)
+                product(ix + 1, merged)
+
+        if all(group_solutions):
+            product(0, {})
+        return result

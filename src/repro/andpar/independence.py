@@ -1,0 +1,147 @@
+"""Goal independence analysis for AND-parallelism (§7).
+
+"Its inclusion is a relatively simple issue for conjunctions of goals
+which do not share variables [...] Unfortunately this case is not as
+common as desired.  [...] Also, at run time, many of the dependencies
+apparent at compile time can disappear because of the particular
+bindings of the variables at the time the call is made.  [...] An
+alternative [...] is to do extensive data dependency analysis at
+compile-time."
+
+Provided here:
+
+* :func:`goal_vars` / :func:`share_variables` — the basic test;
+* :func:`independence_groups` — partition a conjunction into groups of
+  mutually dependent goals (connected components of the
+  variable-sharing graph); distinct groups can run AND-parallel;
+* :func:`runtime_groups` — the same, after applying current bindings
+  (dependencies that disappeared under instantiation no longer link
+  goals — the run-time analysis of [6]);
+* :func:`clause_dependency_report` — compile-time analysis of a whole
+  program: for each clause, the groups under the conservative
+  assumption that head variables are ground at call time (the
+  restricted AND-parallelism view of DeGroot [7]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..logic.parser import Clause
+from ..logic.program import Program
+from ..logic.terms import Term, Var, term_vars
+from ..logic.unify import Bindings
+
+__all__ = [
+    "goal_vars",
+    "share_variables",
+    "independence_groups",
+    "runtime_groups",
+    "ClauseDependency",
+    "clause_dependency_report",
+]
+
+
+def goal_vars(goal: Term, bindings: Optional[Bindings] = None) -> set[int]:
+    """Ids of variables in ``goal``, dereferenced through ``bindings``."""
+    if bindings is None:
+        return {v.id for v in term_vars(goal)}
+    resolved = bindings.resolve(goal)
+    return {v.id for v in term_vars(resolved)}
+
+
+def share_variables(
+    a: Term, b: Term, bindings: Optional[Bindings] = None
+) -> bool:
+    """True if the two goals share at least one (unbound) variable."""
+    return bool(goal_vars(a, bindings) & goal_vars(b, bindings))
+
+
+def independence_groups(
+    goals: Sequence[Term],
+    bindings: Optional[Bindings] = None,
+    exclude: Optional[set[int]] = None,
+) -> list[list[int]]:
+    """Partition goal indices into dependency groups.
+
+    Two goals are linked when they share a variable (not counting ids
+    in ``exclude`` — e.g. variables known ground at call time).  The
+    returned groups (each a sorted list of goal indices, groups ordered
+    by first goal) are mutually independent: executing them in parallel
+    and combining bindings is sound because no variable crosses groups.
+    """
+    exclude = exclude or set()
+    varsets = [goal_vars(g, bindings) - exclude for g in goals]
+    n = len(goals)
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: int, y: int) -> None:
+        parent[find(x)] = find(y)
+
+    by_var: dict[int, int] = {}
+    for i, vs in enumerate(varsets):
+        for v in vs:
+            if v in by_var:
+                union(i, by_var[v])
+            else:
+                by_var[v] = i
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+    return sorted((sorted(g) for g in groups.values()), key=lambda g: g[0])
+
+
+def runtime_groups(
+    goals: Sequence[Term], bindings: Bindings
+) -> list[list[int]]:
+    """Independence groups under the *current* bindings (§7 run-time
+    analysis): goals whose shared variables are now ground fall apart
+    into separate groups."""
+    return independence_groups(goals, bindings)
+
+
+@dataclass
+class ClauseDependency:
+    """Compile-time dependency summary of one clause."""
+
+    clause: Clause
+    groups: list[list[int]] = field(default_factory=list)
+
+    @property
+    def parallel_width(self) -> int:
+        """How many goal groups could run AND-parallel."""
+        return len(self.groups)
+
+    @property
+    def fully_sequential(self) -> bool:
+        return len(self.groups) <= 1
+
+    @property
+    def fully_parallel(self) -> bool:
+        return all(len(g) == 1 for g in self.groups)
+
+
+def clause_dependency_report(
+    program: Program, assume_head_ground: bool = True
+) -> list[ClauseDependency]:
+    """Analyze every rule of ``program`` for AND-parallel groups.
+
+    With ``assume_head_ground`` (the restricted-AND-parallelism typical
+    case: calls are made with ground inputs), head variables do not
+    link body goals; otherwise every shared variable counts.
+    """
+    out: list[ClauseDependency] = []
+    for clause in program.rules():
+        exclude = (
+            {v.id for v in term_vars(clause.head)} if assume_head_ground else set()
+        )
+        groups = independence_groups(clause.body, exclude=exclude)
+        out.append(ClauseDependency(clause=clause, groups=groups))
+    return out

@@ -1,0 +1,25 @@
+"""Branch-and-bound machinery (paper §3): the sequential best-first
+engine with incumbent pruning, and the synchronous parallel wave-front
+formulation (Kumar & Kanal style)."""
+
+from .core import (
+    BnBNode,
+    BnBProblem,
+    BnBResult,
+    BoundViolation,
+    BranchAndBound,
+    OrTreeProblem,
+)
+from .parallel import ParallelBnBResult, parallel_best_first, speedup_curve
+
+__all__ = [
+    "BnBProblem",
+    "BnBNode",
+    "BnBResult",
+    "BoundViolation",
+    "BranchAndBound",
+    "OrTreeProblem",
+    "ParallelBnBResult",
+    "parallel_best_first",
+    "speedup_curve",
+]

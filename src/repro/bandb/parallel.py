@@ -1,0 +1,139 @@
+"""Synchronous parallel branch-and-bound formulations (paper section 3).
+
+Section 3 sketches the parallel scheme: at any time a "wave front" cuts
+the tree; with ``n`` processors, "each processor works on the n chains
+with the lowest bounds", selected by a Batcher sorting network.  This
+module implements that **synchronous iteration model** analytically
+(one iteration = every processor expands one frontier node), following
+the parallel B&B formulations of Kumar & Kanal [11].  It measures the
+quantities the paper argues about:
+
+* parallel *time* = number of synchronous iterations;
+* speedup vs. the 1-processor run;
+* **acceleration/deceleration anomalies** — parallel B&B famously can
+  expand fewer or more total nodes than sequential B&B; we count both;
+* frontier occupancy (how often fewer than ``n`` chains were available
+  — the paper's "the scheduling problem makes it impossible to always
+  use the total number of processors available").
+
+The asynchronous, communication-aware version (migration threshold
+``D``, minimum-seeking network) lives in :mod:`repro.machine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Generic, Optional, TypeVar
+
+from .core import BnBNode, BnBProblem
+
+__all__ = ["ParallelBnBResult", "parallel_best_first", "speedup_curve"]
+
+S = TypeVar("S")
+
+
+@dataclass
+class ParallelBnBResult(Generic[S]):
+    """Outcome of a synchronous parallel B&B run."""
+
+    processors: int
+    iterations: int = 0
+    expansions: int = 0
+    generated: int = 0
+    pruned: int = 0
+    solutions: list[BnBNode[S]] = field(default_factory=list)
+    incumbent: Optional[float] = None
+    idle_processor_steps: int = 0  # processor-iterations with no work
+
+    @property
+    def utilization(self) -> float:
+        total = self.iterations * self.processors
+        if total == 0:
+            return 0.0
+        return 1.0 - self.idle_processor_steps / total
+
+
+def parallel_best_first(
+    problem: BnBProblem[S],
+    processors: int,
+    max_solutions: Optional[int] = 1,
+    max_iterations: int = 1_000_000,
+    prune: bool = True,
+) -> ParallelBnBResult[S]:
+    """Synchronous wave-front parallel best-first B&B.
+
+    Each iteration: pop the ``processors`` lowest-bound open nodes (the
+    sorting-network selection of §3), expand them all, push children,
+    then apply incumbent pruning.  Solutions discovered in one iteration
+    are all recorded (they were developed concurrently).
+    """
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    res: ParallelBnBResult[S] = ParallelBnBResult(processors=processors)
+    heap: list[tuple[float, int, BnBNode[S]]] = []
+    counter = 0
+    root = BnBNode(problem.root(), 0.0, 0)
+    heapq.heappush(heap, (0.0, counter, root))
+    while heap and res.iterations < max_iterations:
+        res.iterations += 1
+        batch: list[BnBNode[S]] = []
+        while heap and len(batch) < processors:
+            bound, _, node = heapq.heappop(heap)
+            if prune and res.incumbent is not None and bound > res.incumbent:
+                res.pruned += 1
+                continue
+            batch.append(node)
+        res.idle_processor_steps += processors - len(batch)
+        if not batch:
+            break
+        done = False
+        for node in batch:
+            if problem.is_solution(node.state):
+                res.solutions.append(node)
+                if res.incumbent is None or node.bound < res.incumbent:
+                    res.incumbent = node.bound
+                if max_solutions is not None and len(res.solutions) >= max_solutions:
+                    done = True
+                continue
+            res.expansions += 1
+            for child_state, cost in problem.branch(node.state):
+                child = BnBNode(child_state, node.bound + cost, node.depth + 1, node)
+                res.generated += 1
+                counter += 1
+                heapq.heappush(heap, (child.bound, counter, child))
+        if done:
+            break
+    return res
+
+
+def speedup_curve(
+    problem_factory,
+    processor_counts: list[int],
+    max_solutions: Optional[int] = 1,
+) -> list[dict]:
+    """Run the synchronous model at each processor count.
+
+    ``problem_factory()`` must return a *fresh* problem (OR-trees are
+    stateful).  Returns one row per count with iterations, speedup
+    relative to 1 processor, utilization and total expansions — the
+    E5-shape data (sub-linear growth, saturation when the frontier is
+    narrower than the machine).
+    """
+    rows: list[dict] = []
+    base_iters: Optional[int] = None
+    for n in processor_counts:
+        res = parallel_best_first(problem_factory(), n, max_solutions)
+        if base_iters is None:
+            base_iters = res.iterations
+        rows.append(
+            {
+                "processors": n,
+                "iterations": res.iterations,
+                "speedup": (base_iters / res.iterations) if res.iterations else 0.0,
+                "utilization": res.utilization,
+                "expansions": res.expansions,
+                "solutions": len(res.solutions),
+            }
+        )
+    return rows

@@ -1,0 +1,239 @@
+"""Command-line interface: load a program, run queries, pick an engine.
+
+Usage::
+
+    python -m repro --source family.pl --query "gf(sam, G)"
+    python -m repro --demo --query "gf(sam, G)" --engine blog --tree
+    python -m repro --demo              # interactive REPL
+    python -m repro --nrev 30           # the LIPS benchmark
+
+Engines: ``prolog`` (depth-first baseline), ``blog`` (adaptive
+best-first, the default), ``machine`` (the simulated parallel machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import BLogConfig, BLogEngine
+from .logic import ParseError, Program, Solver
+from .machine import BLogMachine, MachineConfig
+from .ortree import OrTree
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="B-LOG: branch-and-bound execution of logic programs "
+        "(Lipovski & Hermenegildo, ICPP 1985)",
+    )
+    src = p.add_mutually_exclusive_group()
+    src.add_argument("--source", metavar="FILE", help="program file to consult")
+    src.add_argument(
+        "--demo", action="store_true", help="load the paper's figure-1 program"
+    )
+    p.add_argument("--query", "-q", metavar="GOALS", help="query to run (one shot)")
+    p.add_argument(
+        "--engine",
+        choices=("prolog", "blog", "machine"),
+        default="blog",
+        help="execution engine (default: blog)",
+    )
+    p.add_argument(
+        "--max-solutions", type=int, default=None, metavar="N",
+        help="stop after N answers",
+    )
+    p.add_argument(
+        "--processors", type=int, default=4, metavar="N",
+        help="machine engine: processor count (default 4)",
+    )
+    p.add_argument("--n", type=float, default=16.0, help="target bound N (§5)")
+    p.add_argument("--a", type=int, default=16, help="max chain length A (§5)")
+    p.add_argument("--max-depth", type=int, default=256, help="resolution depth bound")
+    p.add_argument(
+        "--tree", action="store_true", help="print the developed OR-tree"
+    )
+    p.add_argument(
+        "--listing", action="store_true", help="print the loaded program and exit"
+    )
+    p.add_argument(
+        "--nrev", type=int, metavar="LEN", default=None,
+        help="run the naive-reverse LIPS benchmark at list length LEN",
+    )
+    p.add_argument(
+        "--load-store", metavar="JSON", default=None,
+        help="seed the engine with a saved weight store",
+    )
+    p.add_argument(
+        "--save-store", metavar="JSON", default=None,
+        help="write the learned weight store after the query/session",
+    )
+    return p
+
+
+def _load_program(args) -> Optional[Program]:
+    if args.demo:
+        from .workloads import family_program
+
+        return family_program()
+    if args.source:
+        with open(args.source) as fh:
+            return Program.from_source(fh.read())
+    return None
+
+
+def _load_store_arg(args):
+    """The --load-store weight store, or None for a fresh one."""
+    if getattr(args, "load_store", None):
+        from .weights.persist import load_store
+
+        return load_store(args.load_store)
+    return None
+
+
+def _save_store_arg(args, engine) -> None:
+    if getattr(args, "save_store", None):
+        from .weights.persist import save_store
+
+        save_store(engine.sessions.global_store, args.save_store)
+
+
+def _run_query(args, program: Program, query: str, out) -> int:
+    if args.engine == "prolog":
+        solver = Solver(program, max_depth=args.max_depth)
+        count = 0
+        for sol in solver.solve(query, max_solutions=args.max_solutions):
+            print(sol, file=out)
+            count += 1
+        if count == 0:
+            print("false.", file=out)
+        print(
+            f"% {solver.stats.inferences} inferences, "
+            f"{solver.stats.resolutions} resolutions",
+            file=out,
+        )
+        return 0 if count else 1
+    if args.engine == "machine":
+        tree = OrTree(program, query, max_depth=args.max_depth)
+        cfg = MachineConfig(
+            n_processors=args.processors, max_solutions=args.max_solutions
+        )
+        res = BLogMachine(cfg).run(tree)
+        for answer in res.answers:
+            line = ", ".join(f"{k} = {v}" for k, v in sorted(answer.items()))
+            print(line or "true", file=out)
+        if not res.answers:
+            print("false.", file=out)
+        print(
+            f"% makespan {res.makespan:.0f} cycles, "
+            f"{res.expansions} expansions, "
+            f"utilization {res.mean_utilization:.2f}, "
+            f"{res.migrations} migrations",
+            file=out,
+        )
+        return 0 if res.answers else 1
+    # blog
+    engine = BLogEngine(
+        program,
+        BLogConfig(n=args.n, a=args.a, max_depth=args.max_depth),
+        global_store=_load_store_arg(args),
+    )
+    result = engine.query(query, max_solutions=args.max_solutions, keep_tree=args.tree)
+    for answer in result.answers:
+        line = ", ".join(f"{k} = {v}" for k, v in sorted(answer.items()))
+        print(line or "true", file=out)
+    if not result.answers:
+        print("false.", file=out)
+    print(
+        f"% {result.expansions} expansions "
+        f"({result.expansions_to_first} to first answer), "
+        f"{result.failures} failed chains",
+        file=out,
+    )
+    if args.tree and result.tree is not None:
+        print(result.tree.render(), file=out)
+    _save_store_arg(args, engine)
+    return 0 if result.answers else 1
+
+
+def _repl(args, program: Program, out) -> int:
+    print(
+        "B-LOG interactive shell — enter goals, ':listing', or ':quit'.",
+        file=out,
+    )
+    engine = BLogEngine(
+        program,
+        BLogConfig(n=args.n, a=args.a, max_depth=args.max_depth),
+        global_store=_load_store_arg(args),
+    )
+    engine.begin_session()
+    while True:
+        try:
+            line = input("?- ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        if line in (":quit", ":q", "halt."):
+            break
+        if line == ":listing":
+            print(program.listing(), file=out)
+            continue
+        if line == ":store":
+            print(engine.store, file=out)
+            continue
+        try:
+            result = engine.query(line, max_solutions=args.max_solutions)
+        except ParseError as exc:
+            print(f"syntax error: {exc}", file=out)
+            continue
+        except Exception as exc:  # engine errors shouldn't kill the REPL
+            print(f"error: {exc}", file=out)
+            continue
+        for answer in result.answers:
+            text = ", ".join(f"{k} = {v}" for k, v in sorted(answer.items()))
+            print(text or "true", file=out)
+        if not result.answers:
+            print("false.", file=out)
+    engine.end_session()
+    _save_store_arg(args, engine)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.nrev is not None:
+        from .workloads import run_nrev
+
+        res = run_nrev(args.nrev, repeats=10)
+        print(
+            f"nrev/{args.nrev}: {res.resolutions} resolutions in "
+            f"{res.seconds:.3f}s = {res.lips / 1000:.1f} kLIPS "
+            f"(reversed correctly: {res.reversed_ok})",
+            file=out,
+        )
+        return 0
+    program = _load_program(args)
+    if program is None:
+        build_parser().print_usage(out)
+        print("error: provide --source FILE, --demo, or --nrev", file=out)
+        return 2
+    if args.listing:
+        print(program.listing(), file=out)
+        return 0
+    if args.query:
+        try:
+            return _run_query(args, program, args.query, out)
+        except ParseError as exc:
+            print(f"syntax error: {exc}", file=out)
+            return 2
+    return _repl(args, program, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""The B-LOG core: configuration, the adaptive best-first engine, and
+the OS-process OR-parallel backend."""
+
+from .config import BLogConfig
+from .engine import BLogEngine, QueryResult
+from .procpool import ParallelAnswer, or_parallel_solve, or_split
+from .system import BLogSystem
+
+__all__ = [
+    "BLogConfig",
+    "BLogEngine",
+    "BLogSystem",
+    "QueryResult",
+    "ParallelAnswer",
+    "or_parallel_solve",
+    "or_split",
+]

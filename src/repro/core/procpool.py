@@ -1,0 +1,138 @@
+"""OS-process OR-parallel backend (wall-clock sanity check).
+
+The simulated machine (:mod:`repro.machine`) is the faithful model of
+the paper's architecture; this module is the pragmatic counterpart: it
+splits the top OR fan-out of a query across ``multiprocessing`` worker
+processes, each running the sequential engine on its alternative.
+Because CPython's GIL serializes threads, real processes are the only
+way to observe genuine OR-parallel wall-clock speedup in Python — and
+even then only for coarse-grain alternatives (fork + pickle overhead
+swamps small trees, which is itself an honest datum for the paper's
+communication-cost discussion, the constant ``D`` of §6).
+
+The split mirrors Conery & Kibler's OR-parallelism: alternatives of
+the root goal are independent searches sharing nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..logic.program import Program
+from ..logic.solver import Solver
+from ..logic.terms import Term
+from ..ortree.tree import NodeStatus, OrTree
+
+__all__ = ["ParallelAnswer", "or_parallel_solve", "or_split"]
+
+
+@dataclass
+class ParallelAnswer:
+    """Answers gathered from all branches, with per-branch accounting."""
+
+    answers: list[dict[str, str]] = field(default_factory=list)
+    branches: int = 0
+    per_branch_solutions: list[int] = field(default_factory=list)
+
+
+def or_split(program: Program, query: str | Sequence[Term]) -> list[tuple[Term, ...]]:
+    """Resolvents after one resolution step at the root (the OR fan-out)."""
+    tree = OrTree(program, query)
+    tree.expand(0)
+    out: list[tuple[Term, ...]] = []
+    for cid in tree.root.children:
+        node = tree.node(cid)
+        out.append((node.goals, node.answer))  # type: ignore[arg-type]
+    return out
+
+
+def _solve_branch(payload: bytes) -> bytes:
+    """Worker: run the sequential solver on one resolvent."""
+    program, goals, answer, query_names, max_depth, max_solutions = pickle.loads(
+        payload
+    )
+    solver = Solver(program, max_depth=max_depth)
+    from ..logic.unify import Bindings, unify
+
+    answers: list[dict[str, str]] = []
+    if not goals:  # the branch is already a solution
+        b = Bindings()
+        sols = [answer]
+    else:
+        sols = []
+        bindings = Bindings(solver.stats.unify)
+        count = 0
+        for _ in solver._solve(tuple(goals), bindings, 0, [False]):
+            sols.append(tuple(bindings.resolve(a) for a in answer))
+            count += 1
+            if max_solutions is not None and count >= max_solutions:
+                break
+    for inst in sols:
+        named: dict[str, str] = {}
+        b = Bindings()
+        from ..logic.terms import term_vars
+
+        # Recover named query-variable bindings by unifying the original
+        # query pattern against this instance.
+        for q, a in zip(query_names["query"], inst):
+            unify(q, a, b)
+        for name, var in query_names["vars"].items():
+            named[name] = str(b.resolve(var))
+        answers.append(named)
+    return pickle.dumps(answers)
+
+
+def or_parallel_solve(
+    program: Program,
+    query: str | Sequence[Term],
+    processes: int = 2,
+    max_depth: int = 256,
+    max_solutions_per_branch: Optional[int] = None,
+) -> ParallelAnswer:
+    """Solve ``query`` with the top OR fan-out spread over processes.
+
+    Answers across branches are concatenated in branch order; within a
+    branch they follow Prolog order.  Solution *sets* therefore match
+    the sequential engine (order may interleave differently).
+    """
+    tree = OrTree(program, query)
+    tree.expand(0)
+    query_names = {"query": tree.query, "vars": tree.query_vars}
+    payloads = []
+    direct: list[dict[str, str]] = []
+    for cid in tree.root.children:
+        node = tree.node(cid)
+        if node.status is NodeStatus.SOLUTION:
+            direct.append({k: str(v) for k, v in tree.solution_answer(node).items()})
+            continue
+        payloads.append(
+            pickle.dumps(
+                (
+                    program,
+                    node.goals,
+                    node.answer,
+                    query_names,
+                    max_depth,
+                    max_solutions_per_branch,
+                )
+            )
+        )
+    result = ParallelAnswer(branches=len(payloads) + len(direct))
+    result.answers.extend(direct)
+    result.per_branch_solutions.extend([1] * len(direct))
+    if not payloads:
+        return result
+    if processes <= 1 or len(payloads) == 1:
+        chunks = [_solve_branch(p) for p in payloads]
+    else:
+        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp
+        with ctx.Pool(min(processes, len(payloads))) as pool:
+            chunks = pool.map(_solve_branch, payloads)
+    for chunk in chunks:
+        answers = pickle.loads(chunk)
+        result.answers.extend(answers)
+        result.per_branch_solutions.append(len(answers))
+    return result

@@ -1,0 +1,15 @@
+"""The physical linked-list clause database of figure 4: blocks per
+Horn clause with named, weighted pointers, maintained like inverted
+files; plus the figure-2 fact graph view."""
+
+from .blocks import BLOCK_HEADER_WORDS, POINTER_WORDS, Block, NamedPointer
+from .build import LinkedDatabase, fact_graph
+
+__all__ = [
+    "Block",
+    "NamedPointer",
+    "POINTER_WORDS",
+    "BLOCK_HEADER_WORDS",
+    "LinkedDatabase",
+    "fact_graph",
+]

@@ -1,0 +1,99 @@
+"""The figure-4 linked-list database: blocks with named weighted pointers.
+
+Section 5: "The database will be stored as a linked list data
+structure, with blocks representing each Horn clause (rule or fact),
+and pointers to blocks representing other rules or facts in the
+database that can resolve the rule.  [...] just below each named
+pointer is a weight.  It may be recognized that these blocks are much
+like inverted files kept for each rule."
+
+A :class:`Block` holds one Horn clause; for every body literal it keeps
+one :class:`NamedPointer` per clause whose head can resolve that
+literal (indicator match — the static over-approximation an inverted
+file gives; unification still filters at run time).  Weights live *on
+the pointers* ("the weights are stored with the pointers, rather than
+at the beginning of each block.  This speeds up the search process
+because we can decide whether we wish to retrieve another block by
+examining these weights, before we access the block").
+
+Blocks also know their size in memory words so the SPD simulator can
+lay them out on tracks: header (2 words: block id, clause text handle)
++ 1 word per term symbol + 3 words per pointer (name, target, weight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..logic.parser import Clause
+from ..logic.terms import term_size
+from ..ortree.tree import ArcKey
+
+__all__ = ["NamedPointer", "Block", "POINTER_WORDS", "BLOCK_HEADER_WORDS"]
+
+POINTER_WORDS = 3  # name, target block number, weight
+BLOCK_HEADER_WORDS = 2  # block number, clause handle
+
+
+@dataclass
+class NamedPointer:
+    """A weighted pointer from a body literal to a resolving clause.
+
+    ``name`` is the literal's predicate name (the pointer label of
+    figure 4); ``literal_index`` its position in the body; ``target``
+    the block id of the candidate clause; ``weight`` the current bound
+    component.
+    """
+
+    name: str
+    literal_index: int
+    target: int
+    weight: float
+
+    def arc_key(self, source_block: int) -> ArcKey:
+        """The weight-store key this pointer corresponds to."""
+        return ArcKey("pointer", (source_block, self.literal_index, self.target))
+
+
+@dataclass
+class Block:
+    """One Horn clause as a physical database block."""
+
+    block_id: int
+    clause: Clause
+    pointers: list[NamedPointer] = field(default_factory=list)
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        return self.clause.indicator
+
+    @property
+    def is_fact(self) -> bool:
+        return self.clause.is_fact
+
+    def pointers_for_literal(self, literal_index: int) -> list[NamedPointer]:
+        return [p for p in self.pointers if p.literal_index == literal_index]
+
+    @property
+    def size_words(self) -> int:
+        """Block footprint in memory words (for SPD track layout)."""
+        body_words = sum(term_size(g) for g in self.clause.body)
+        return (
+            BLOCK_HEADER_WORDS
+            + term_size(self.clause.head)
+            + body_words
+            + POINTER_WORDS * len(self.pointers)
+        )
+
+    def render(self) -> str:
+        """Figure-4 style rendering: the clause, then named pointers
+        with their weights underneath."""
+        lines = [str(self.clause)]
+        for p in self.pointers:
+            lines.append(f"    {p.name}[{p.literal_index}] -> block {p.target}")
+            lines.append(f"        weight {p.weight:g}")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[NamedPointer]:
+        return iter(self.pointers)

@@ -1,0 +1,82 @@
+"""Logic-programming substrate: terms, unification, parser, knowledge
+base, and the sequential depth-first engine (the Prolog baseline of the
+paper's section 2)."""
+
+from .builtins import BUILTINS, BuiltinError, call_builtin, eval_arith, is_builtin
+from .library import LIBRARY_SOURCE, library_clauses, with_library
+from .parser import (
+    Clause,
+    ParseError,
+    format_clause,
+    parse_clause,
+    parse_program,
+    parse_query,
+    parse_term,
+    tokenize,
+)
+from .program import Program
+from .solver import Solution, Solver, SolverStats, prolog_solutions
+from .terms import (
+    NIL,
+    TRUE,
+    Atom,
+    Int,
+    Struct,
+    Term,
+    Var,
+    fresh_var,
+    is_list,
+    list_to_python,
+    make_list,
+    reset_var_counter,
+    term_depth,
+    term_size,
+    term_vars,
+    variant_of,
+)
+from .unify import Bindings, UnifyStats, occurs_in, rename_apart, unify
+
+__all__ = [
+    "Atom",
+    "Int",
+    "Struct",
+    "Term",
+    "Var",
+    "NIL",
+    "TRUE",
+    "fresh_var",
+    "reset_var_counter",
+    "make_list",
+    "list_to_python",
+    "is_list",
+    "term_vars",
+    "term_size",
+    "term_depth",
+    "variant_of",
+    "Bindings",
+    "UnifyStats",
+    "unify",
+    "occurs_in",
+    "rename_apart",
+    "Clause",
+    "ParseError",
+    "tokenize",
+    "parse_term",
+    "parse_clause",
+    "parse_query",
+    "parse_program",
+    "format_clause",
+    "Program",
+    "Solver",
+    "Solution",
+    "SolverStats",
+    "prolog_solutions",
+    "BUILTINS",
+    "BuiltinError",
+    "is_builtin",
+    "call_builtin",
+    "eval_arith",
+    "LIBRARY_SOURCE",
+    "library_clauses",
+    "with_library",
+]

@@ -1,0 +1,213 @@
+"""Built-in predicates for the sequential engine and the OR-tree expander.
+
+The paper's examples only need pure Horn clauses, but realistic
+workloads (N-queens, map coloring) need arithmetic and comparison.
+Builtins are *deterministic tests/bindings*: they either fail or
+succeed exactly once, optionally binding variables.  This keeps the
+OR-tree model clean — a builtin goal never fans out.
+
+Supported: ``true``, ``fail``/``false``, ``=``, ``\\=``, ``==``,
+``\\==``, ``is``, ``<``, ``>``, ``=<``, ``>=``, ``=:=``, ``=\\=``,
+``var``, ``nonvar``, ``atom``, ``integer``, ``between/3`` (the one
+nondeterministic builtin, used by generators).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .terms import Atom, Int, Struct, Term, Var
+from .unify import Bindings, unify
+
+__all__ = ["BUILTINS", "is_builtin", "eval_arith", "call_builtin", "BuiltinError"]
+
+
+class BuiltinError(ValueError):
+    """Raised when a builtin is called with unusable arguments."""
+
+
+def eval_arith(term: Term, bindings: Bindings) -> int:
+    """Evaluate a ground arithmetic expression to an int (Prolog ``is``)."""
+    term = bindings.walk(term)
+    if isinstance(term, Int):
+        return term.value
+    if isinstance(term, Var):
+        raise BuiltinError(f"arithmetic on unbound variable {term}")
+    if isinstance(term, Struct):
+        f, n = term.functor, term.arity
+        if n == 2:
+            a = eval_arith(term.args[0], bindings)
+            b = eval_arith(term.args[1], bindings)
+            if f == "+":
+                return a + b
+            if f == "-":
+                return a - b
+            if f == "*":
+                return a * b
+            if f in ("//", "/"):
+                if b == 0:
+                    raise BuiltinError("division by zero")
+                return a // b
+            if f == "mod":
+                if b == 0:
+                    raise BuiltinError("mod by zero")
+                return a % b
+            if f == "min":
+                return min(a, b)
+            if f == "max":
+                return max(a, b)
+        if n == 1:
+            a = eval_arith(term.args[0], bindings)
+            if f == "-":
+                return -a
+            if f == "abs":
+                return abs(a)
+    raise BuiltinError(f"unknown arithmetic term {term}")
+
+
+# Each builtin is a function (args, bindings) -> iterator of "success"
+# markers; it must leave bindings consistent on each yield and undo its
+# own work between yields (the engine brackets the whole call with a
+# trail mark anyway).
+
+
+def _bi_true(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    yield None
+
+
+def _bi_fail(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    return
+    yield  # pragma: no cover
+
+
+def _bi_unify(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    mark = b.mark()
+    if unify(args[0], args[1], b):
+        yield None
+    else:
+        b.undo_to(mark)
+
+
+def _bi_not_unify(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    mark = b.mark()
+    ok = unify(args[0], args[1], b)
+    b.undo_to(mark)
+    if not ok:
+        yield None
+
+
+def _struct_eq(x: Term, y: Term, b: Bindings) -> bool:
+    x = b.walk(x)
+    y = b.walk(y)
+    if isinstance(x, Var) or isinstance(y, Var):
+        return isinstance(x, Var) and isinstance(y, Var) and x.id == y.id
+    if isinstance(x, Struct) and isinstance(y, Struct):
+        return (
+            x.functor == y.functor
+            and x.arity == y.arity
+            and all(_struct_eq(p, q, b) for p, q in zip(x.args, y.args))
+        )
+    return x == y
+
+
+def _bi_struct_eq(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    if _struct_eq(args[0], args[1], b):
+        yield None
+
+
+def _bi_struct_neq(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    if not _struct_eq(args[0], args[1], b):
+        yield None
+
+
+def _bi_is(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    value = Int(eval_arith(args[1], b))
+    mark = b.mark()
+    if unify(args[0], value, b):
+        yield None
+    else:
+        b.undo_to(mark)
+
+
+def _cmp(op: Callable[[int, int], bool]):
+    def fn(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+        if op(eval_arith(args[0], b), eval_arith(args[1], b)):
+            yield None
+
+    return fn
+
+
+def _bi_var(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    if isinstance(b.walk(args[0]), Var):
+        yield None
+
+
+def _bi_nonvar(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    if not isinstance(b.walk(args[0]), Var):
+        yield None
+
+
+def _bi_atom(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    if isinstance(b.walk(args[0]), Atom):
+        yield None
+
+
+def _bi_integer(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    if isinstance(b.walk(args[0]), Int):
+        yield None
+
+
+def _bi_between(args: tuple[Term, ...], b: Bindings) -> Iterator[None]:
+    lo = eval_arith(args[0], b)
+    hi = eval_arith(args[1], b)
+    x = b.walk(args[2])
+    if isinstance(x, Int):
+        if lo <= x.value <= hi:
+            yield None
+        return
+    if not isinstance(x, Var):
+        return
+    for v in range(lo, hi + 1):
+        mark = b.mark()
+        if unify(x, Int(v), b):
+            yield None
+        b.undo_to(mark)
+
+
+BUILTINS: dict[tuple[str, int], Callable[[tuple[Term, ...], Bindings], Iterator[None]]] = {
+    ("true", 0): _bi_true,
+    ("fail", 0): _bi_fail,
+    ("false", 0): _bi_fail,
+    ("=", 2): _bi_unify,
+    ("\\=", 2): _bi_not_unify,
+    ("==", 2): _bi_struct_eq,
+    ("\\==", 2): _bi_struct_neq,
+    ("is", 2): _bi_is,
+    ("<", 2): _cmp(lambda a, b: a < b),
+    (">", 2): _cmp(lambda a, b: a > b),
+    ("=<", 2): _cmp(lambda a, b: a <= b),
+    (">=", 2): _cmp(lambda a, b: a >= b),
+    ("=:=", 2): _cmp(lambda a, b: a == b),
+    ("=\\=", 2): _cmp(lambda a, b: a != b),
+    ("var", 1): _bi_var,
+    ("nonvar", 1): _bi_nonvar,
+    ("atom", 1): _bi_atom,
+    ("integer", 1): _bi_integer,
+    ("between", 3): _bi_between,
+}
+
+
+def is_builtin(goal: Term) -> bool:
+    """True if ``goal`` is handled by a builtin rather than the database."""
+    try:
+        return goal.indicator in BUILTINS
+    except TypeError:
+        return False
+
+
+def call_builtin(goal: Term, bindings: Bindings) -> Iterator[None]:
+    """Run the builtin for ``goal``; yields once per solution."""
+    ind = goal.indicator
+    fn = BUILTINS[ind]
+    args = goal.args if isinstance(goal, Struct) else ()
+    return fn(args, bindings)

@@ -1,0 +1,81 @@
+"""A small pure-Prolog standard library, loadable into any program.
+
+All definitions are plain Horn clauses over the engine's builtins, so
+they run identically on the sequential baseline, the OR-tree
+strategies, the B-LOG engine and the simulated machine — no special
+casing anywhere.  ``with_library(program)`` appends them (predicates
+already defined by the user are left alone and simply shadow by clause
+order).
+
+Provided: ``append/3``, ``member/2``, ``length/2``, ``reverse/2`` (the
+accumulator version), ``nth0/3``, ``nth1/3``, ``last/2``, ``select/3``,
+``permutation/2``, ``delete_all/3``, ``sum_list/2``, ``max_list/2``,
+``min_list/2``, ``numlist/3``.
+"""
+
+from __future__ import annotations
+
+from .parser import parse_program
+from .program import Program
+
+__all__ = ["LIBRARY_SOURCE", "library_clauses", "with_library"]
+
+LIBRARY_SOURCE = """\
+% ---- lists ------------------------------------------------------------
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+length([], 0).
+length([_|T], N) :- length(T, M), N is M + 1.
+
+reverse(L, R) :- rev_acc(L, [], R).
+rev_acc([], Acc, Acc).
+rev_acc([H|T], Acc, R) :- rev_acc(T, [H|Acc], R).
+
+nth0(0, [X|_], X).
+nth0(N, [_|T], X) :- N > 0, M is N - 1, nth0(M, T, X).
+
+nth1(1, [X|_], X).
+nth1(N, [_|T], X) :- N > 1, M is N - 1, nth1(M, T, X).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+
+delete_all([], _, []).
+delete_all([X|T], X, R) :- delete_all(T, X, R).
+delete_all([H|T], X, [H|R]) :- H \\= X, delete_all(T, X, R).
+
+% ---- arithmetic over lists ---------------------------------------------
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, R), S is R + H.
+
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, N), M is max(H, N).
+
+min_list([X], X).
+min_list([H|T], M) :- min_list(T, N), M is min(H, N).
+
+numlist(L, H, []) :- L > H.
+numlist(L, H, [L|T]) :- L =< H, M is L + 1, numlist(M, H, T).
+"""
+
+
+def library_clauses():
+    """The library as parsed clauses."""
+    return parse_program(LIBRARY_SOURCE)
+
+
+def with_library(program: Program) -> Program:
+    """Append the library clauses to ``program`` (in place); returns it."""
+    for clause in library_clauses():
+        program.add(clause)
+    return program

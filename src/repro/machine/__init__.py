@@ -1,0 +1,72 @@
+"""The simulated parallel B-LOG machine (§6): DES kernel, scoreboard
+processor controller, multiply-write memory, minimum-seeking network
+with migration threshold D, and the assembled N×M machine."""
+
+from .blog_machine import BLogMachine, MachineConfig, MachineResult
+from .memory import ConventionalRAM, CopyCost, MultiWriteRAM
+from .network import Interconnect, MinSeekingNetwork, NetworkStats
+from .processor import LocalMemory, ProcessorState
+from .scoreboard import (
+    DEFAULT_LATENCIES,
+    DEFAULT_UNIT_COUNTS,
+    FunctionalUnit,
+    MicroOp,
+    Scoreboard,
+    ScoreboardStats,
+    expansion_program,
+)
+from .banyan import BanyanNetwork, crossbar_cost, omega_route
+from .interpreter import InterpreterReport, compile_expansion, simulate_query
+from .schedule import ScheduleResult, TaskGraph, list_schedule
+from .sorting import SortingNetwork, batcher_network, min_tree_cost
+from .sim import (
+    Acquire,
+    Process,
+    Resource,
+    Signal,
+    SimError,
+    Simulator,
+    Timeout,
+    WaitSignal,
+)
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Acquire",
+    "WaitSignal",
+    "Resource",
+    "Signal",
+    "SimError",
+    "ConventionalRAM",
+    "MultiWriteRAM",
+    "CopyCost",
+    "MicroOp",
+    "FunctionalUnit",
+    "Scoreboard",
+    "ScoreboardStats",
+    "DEFAULT_LATENCIES",
+    "DEFAULT_UNIT_COUNTS",
+    "expansion_program",
+    "MinSeekingNetwork",
+    "Interconnect",
+    "NetworkStats",
+    "ProcessorState",
+    "LocalMemory",
+    "BLogMachine",
+    "MachineConfig",
+    "MachineResult",
+    "SortingNetwork",
+    "batcher_network",
+    "min_tree_cost",
+    "BanyanNetwork",
+    "omega_route",
+    "crossbar_cost",
+    "TaskGraph",
+    "ScheduleResult",
+    "list_schedule",
+    "InterpreterReport",
+    "compile_expansion",
+    "simulate_query",
+]

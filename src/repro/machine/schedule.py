@@ -1,0 +1,170 @@
+"""List scheduling of task DAGs onto N processors.
+
+Used to place the AND/OR process model's task graph (E12) and other
+precedence-constrained work onto a fixed machine, giving the classic
+bound pair:
+
+* ``critical_path`` — the longest dependency chain (time with infinite
+  processors);
+* list-scheduled ``makespan`` on N processors — within 2x of optimal
+  (Graham's bound), which is all the fidelity the comparison needs.
+
+The scheduler is deterministic: ready tasks are ordered by (longest
+remaining path first, insertion order) — the standard HLF/CP heuristic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+__all__ = ["TaskGraph", "ScheduleResult", "list_schedule"]
+
+TaskId = Hashable
+
+
+@dataclass
+class TaskGraph:
+    """A DAG of tasks with durations."""
+
+    durations: dict[TaskId, float] = field(default_factory=dict)
+    edges: list[tuple[TaskId, TaskId]] = field(default_factory=list)  # (pred, succ)
+
+    def add_task(self, tid: TaskId, duration: float) -> TaskId:
+        if duration < 0:
+            raise ValueError("durations must be non-negative")
+        if tid in self.durations:
+            raise ValueError(f"duplicate task {tid!r}")
+        self.durations[tid] = duration
+        return tid
+
+    def add_edge(self, pred: TaskId, succ: TaskId) -> None:
+        if pred not in self.durations or succ not in self.durations:
+            raise KeyError("both endpoints must be tasks")
+        self.edges.append((pred, succ))
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.durations.values())
+
+    def successors(self) -> dict[TaskId, list[TaskId]]:
+        out: dict[TaskId, list[TaskId]] = {t: [] for t in self.durations}
+        for p, s in self.edges:
+            out[p].append(s)
+        return out
+
+    def predecessors_count(self) -> dict[TaskId, int]:
+        out: dict[TaskId, int] = {t: 0 for t in self.durations}
+        for _, s in self.edges:
+            out[s] += 1
+        return out
+
+    def critical_path(self) -> float:
+        """Longest path length (sum of durations) through the DAG."""
+        succ = self.successors()
+        indeg = self.predecessors_count()
+        # topological order (Kahn); also validates acyclicity
+        order: list[TaskId] = [t for t, d in indeg.items() if d == 0]
+        seen = 0
+        longest: dict[TaskId, float] = {
+            t: self.durations[t] for t in self.durations
+        }
+        queue = list(order)
+        remaining = dict(indeg)
+        topo: list[TaskId] = []
+        while queue:
+            t = queue.pop()
+            topo.append(t)
+            for s in succ[t]:
+                remaining[s] -= 1
+                if remaining[s] == 0:
+                    queue.append(s)
+        if len(topo) != len(self.durations):
+            raise ValueError("task graph has a cycle")
+        for t in topo:
+            for s in succ[t]:
+                longest[s] = max(longest[s], longest[t] + self.durations[s])
+        return max(longest.values(), default=0.0)
+
+
+@dataclass
+class ScheduleResult:
+    processors: int
+    makespan: float
+    critical_path: float
+    total_work: float
+    start_times: dict[TaskId, float] = field(default_factory=dict)
+    assignment: dict[TaskId, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.total_work / self.makespan if self.makespan else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.processors
+
+
+def list_schedule(graph: TaskGraph, processors: int) -> ScheduleResult:
+    """Critical-path list scheduling on ``processors`` identical machines."""
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    succ = graph.successors()
+    indeg = graph.predecessors_count()
+    # longest path *from* each task (priority)
+    priority: dict[TaskId, float] = {}
+
+    def rank(t: TaskId) -> float:
+        if t in priority:
+            return priority[t]
+        priority[t] = graph.durations[t] + max(
+            (rank(s) for s in succ[t]), default=0.0
+        )
+        return priority[t]
+
+    for t in graph.durations:
+        rank(t)
+    result = ScheduleResult(
+        processors=processors,
+        makespan=0.0,
+        critical_path=graph.critical_path(),
+        total_work=graph.total_work,
+    )
+    counter = 0
+    ready: list[tuple[float, int, TaskId]] = []
+    remaining = dict(indeg)
+    for t, d in indeg.items():
+        if d == 0:
+            heapq.heappush(ready, (-priority[t], counter, t))
+            counter += 1
+    proc_free = [0.0] * processors
+    # pop the highest-priority ready task, place it on the processor
+    # that frees first, no earlier than its predecessors' finish times
+    preds: dict[TaskId, list[TaskId]] = {t: [] for t in graph.durations}
+    for p, s in graph.edges:
+        preds[s].append(p)
+    finish: dict[TaskId, float] = {}
+    pending = ready
+    scheduled = 0
+    n_tasks = len(graph.durations)
+    while scheduled < n_tasks:
+        if not pending:
+            raise RuntimeError("scheduler stalled — inconsistent graph")
+        _, _, task = heapq.heappop(pending)
+        earliest = max((finish[p] for p in preds[task]), default=0.0)
+        pix = min(range(processors), key=lambda i: proc_free[i])
+        start = max(proc_free[pix], earliest)
+        end = start + graph.durations[task]
+        proc_free[pix] = end
+        finish[task] = end
+        result.start_times[task] = start
+        result.assignment[task] = pix
+        result.makespan = max(result.makespan, end)
+        scheduled += 1
+        for s in succ[task]:
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                heapq.heappush(pending, (-priority[s], counter, s))
+                counter += 1
+    return result

@@ -1,0 +1,130 @@
+"""Batcher's odd-even merge sorting network (§3, reference [1]).
+
+"A sorting network like Batcher's could be used to sort the bounds,
+assigning the n lowest bounds to the n processors and communicating the
+associated chains to them to work on.  A sorting network is costly, and
+communication costs restrict this approach" — §3 then replaces it with
+the minimum-seeking tree of §6.  This module builds the actual network
+so E10 can quantify that design decision: comparator count O(n log² n)
+and gate depth for Batcher vs the O(n) comparators / O(log n) depth of
+a min tree that only finds *one* minimum.
+
+The network is represented as explicit comparator stages, so both the
+hardware cost (comparators, depth) and the functional behaviour
+(``sort``/``select_lowest``) come from one construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+__all__ = ["SortingNetwork", "batcher_network", "min_tree_cost"]
+
+T = TypeVar("T")
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def _oddeven_merge(
+    lo: int, hi: int, r: int, comparators: list[tuple[int, int]]
+) -> None:
+    """Batcher odd-even merge over indices lo..hi (inclusive), stride r."""
+    step = r * 2
+    if step < hi - lo:
+        _oddeven_merge(lo, hi, step, comparators)
+        _oddeven_merge(lo + r, hi, step, comparators)
+        for i in range(lo + r, hi - r, step):
+            comparators.append((i, i + r))
+    else:
+        comparators.append((lo, lo + r))
+
+
+def _oddeven_sort(lo: int, hi: int, comparators: list[tuple[int, int]]) -> None:
+    """Sort indices lo..hi (inclusive); hi - lo + 1 must be a power of 2."""
+    if hi - lo >= 1:
+        mid = lo + (hi - lo) // 2
+        _oddeven_sort(lo, mid, comparators)
+        _oddeven_sort(mid + 1, hi, comparators)
+        _oddeven_merge(lo, hi, 1, comparators)
+
+
+@dataclass
+class SortingNetwork:
+    """A fixed comparator network for ``size`` inputs.
+
+    ``comparators`` is a flat list of (i, j) with i < j: each places
+    min at i, max at j.  ``stages`` groups them into layers of
+    non-conflicting comparators — the gate *depth* of the hardware.
+    """
+
+    size: int
+    comparators: list[tuple[int, int]]
+
+    @property
+    def comparator_count(self) -> int:
+        return len(self.comparators)
+
+    @property
+    def stages(self) -> list[list[tuple[int, int]]]:
+        """Greedy layering: a comparator joins the earliest stage where
+        neither of its wires is already used."""
+        layers: list[list[tuple[int, int]]] = []
+        wire_free_at = [0] * self.size
+        for (i, j) in self.comparators:
+            at = max(wire_free_at[i], wire_free_at[j])
+            while len(layers) <= at:
+                layers.append([])
+            layers[at].append((i, j))
+            wire_free_at[i] = at + 1
+            wire_free_at[j] = at + 1
+        return layers
+
+    @property
+    def depth(self) -> int:
+        return len(self.stages)
+
+    def sort(self, values: Sequence[T]) -> list[T]:
+        """Run the network; input shorter than ``size`` is padded at the
+        top with +infinity sentinels (they sink to the end)."""
+        if len(values) > self.size:
+            raise ValueError(f"network sorts at most {self.size} values")
+        inf = float("inf")
+        data: list = list(values) + [inf] * (self.size - len(values))
+        for i, j in self.comparators:
+            if data[j] < data[i]:
+                data[i], data[j] = data[j], data[i]
+        return data[: len(values)]
+
+    def select_lowest(self, values: Sequence[T], n: int) -> list[T]:
+        """The §3 operation: the n lowest bounds, sorted."""
+        return self.sort(values)[:n]
+
+
+def batcher_network(size: int) -> SortingNetwork:
+    """Build Batcher's odd-even mergesort network for ``size`` inputs
+    (rounded up to the next power of two internally)."""
+    if size < 1:
+        raise ValueError("network needs at least one input")
+    padded = _next_pow2(size)
+    comparators: list[tuple[int, int]] = []
+    if padded > 1:
+        _oddeven_sort(0, padded - 1, comparators)
+    return SortingNetwork(size=padded, comparators=comparators)
+
+
+def min_tree_cost(size: int) -> dict:
+    """Hardware cost of the §6 minimum-seeking tree for comparison:
+    size-1 two-input min nodes, ceil(log2 size) depth, one output."""
+    import math
+
+    return {
+        "comparators": max(0, size - 1),
+        "depth": max(1, math.ceil(math.log2(size))) if size > 1 else 0,
+        "outputs": 1,
+    }

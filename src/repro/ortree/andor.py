@@ -1,0 +1,318 @@
+"""The AND/OR process model of Conery & Kibler — the paper's baseline [4].
+
+Section 2: "the execution of a Logic Program can be modeled as a search
+process through an AND/OR tree [4] or through an OR-tree.  In our
+approach [...] we consider AND-trees now only in a sequential way" —
+B-LOG linearizes conjunctions (Prolog-style) and fans out only on
+clause choice.  To measure what that simplification gives up, this
+module implements the *other* model:
+
+* an **OR node** stands for one goal; its children are AND nodes, one
+  per clause whose head unifies;
+* an **AND node** stands for a clause body (a conjunction).  Goals are
+  partitioned into independence groups: groups run *in parallel* and
+  their answer sets cross-join freely (no shared variables); *within*
+  a group, goals run in order with **sideways information passing** —
+  each accumulated answer instantiates the next goal before its OR
+  subtree is solved.  This is Conery's ordering algorithm in its
+  simplest form; without it, solving shared-variable goals blindly
+  independently diverges on recursive predicates (his thesis's central
+  difficulty, and §7's "calls which share variables").
+
+The evaluator returns the same answer sets as SLD resolution
+(integration-tested against the baseline) and accounts:
+
+* ``or_nodes`` / ``and_nodes`` — tree size;
+* ``join_work`` — tuples touched combining sibling answers;
+* ``max_and_width`` / ``max_or_width`` — the parallelism each node kind
+  exposes;
+* ``sequential_work`` vs ``critical_path`` — ideal AND∥OR speedup.
+
+Caveat (faithful to [4]'s difficulties): goals are solved to
+*completion* before joining, so infinite subtrees must be cut by
+``max_depth`` even where Prolog's lazy interleaving would terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..logic.builtins import BuiltinError, call_builtin, is_builtin
+from ..logic.parser import parse_query
+from ..logic.program import Program
+from ..logic.solver import _rename_clause
+from ..logic.terms import Struct, Term, Var, term_vars
+from ..logic.unify import Bindings, unify
+
+__all__ = ["AndOrStats", "AndOrResult", "AndOrEvaluator"]
+
+
+@dataclass
+class AndOrStats:
+    or_nodes: int = 0
+    and_nodes: int = 0
+    join_work: int = 0  # tuples touched in sibling joins
+    max_or_width: int = 0  # widest clause fan-out (OR-parallelism)
+    max_and_width: int = 0  # widest body (AND-parallelism)
+    depth_cutoffs: int = 0
+    # work units: one unit per OR-node visit (goal resolution attempt);
+    # sequential = serialize everything, critical path = AND and OR
+    # children in parallel.  Same units, so their ratio is a speedup.
+    sequential_work: int = 0
+    critical_path: int = 0
+
+
+@dataclass
+class AndOrResult:
+    answers: list[dict[str, Term]] = field(default_factory=list)
+    stats: AndOrStats = field(default_factory=AndOrStats)
+    task_graph: object = None  # TaskGraph when run(record_tasks=True)
+
+    @property
+    def ideal_speedup(self) -> float:
+        if self.stats.critical_path == 0:
+            return 1.0
+        return self.stats.sequential_work / self.stats.critical_path
+
+
+# an answer to a goal: substitution over the goal's variable ids
+Subst = dict[int, Term]
+
+
+class AndOrEvaluator:
+    """Evaluate queries under the AND/OR process model."""
+
+    def __init__(self, program: Program, max_depth: int = 64, max_answers: int = 100_000):
+        self.program = program
+        self.max_depth = max_depth
+        self.max_answers = max_answers
+
+    def run(
+        self, query: str | Sequence[Term], record_tasks: bool = False
+    ) -> AndOrResult:
+        """Evaluate ``query``.  With ``record_tasks`` the result carries
+        a :class:`~repro.machine.schedule.TaskGraph` of the evaluation
+        (one unit task per OR-node, precedence = the sips barriers), so
+        the run can be list-scheduled onto a finite machine (E12)."""
+        goals = parse_query(query) if isinstance(query, str) else tuple(query)
+        result = AndOrResult()
+        if record_tasks:
+            from ..machine.schedule import TaskGraph
+
+            self._graph = TaskGraph()
+            self._tid = 0
+        else:
+            self._graph = None
+        answers, seq, cp, _src, _snk = self._solve_and(goals, 0, result.stats)
+        result.stats.sequential_work = seq
+        result.stats.critical_path = cp
+        result.task_graph = self._graph
+        self._graph = None
+        named: dict[str, Var] = {}
+        for g in goals:
+            for v in term_vars(g):
+                if v.name and v.name != "_":
+                    named.setdefault(v.name, v)
+        for sub in answers:
+            result.answers.append(
+                {name: _apply(sub, v) for name, v in named.items()}
+            )
+        return result
+
+    # -- AND node: independent groups in parallel, sips within a group ------
+    def _solve_and(
+        self, goals: tuple[Term, ...], depth: int, stats: AndOrStats
+    ) -> tuple[list[Subst], int, int, tuple, tuple]:
+        if not goals:
+            return [dict()], 0, 0, (), ()
+        stats.and_nodes += 1
+        stats.max_and_width = max(stats.max_and_width, len(goals))
+        from ..andpar.independence import independence_groups
+
+        groups = independence_groups(goals)
+        per_group: list[list[Subst]] = []
+        seq_total = 0
+        cp_parts: list[int] = []
+        sources: list = []
+        sinks: list = []
+        for group in groups:
+            sols, seq, cp, g_src, g_snk = self._solve_group(
+                [goals[i] for i in group], depth, stats
+            )
+            per_group.append(sols)
+            seq_total += seq
+            cp_parts.append(cp)
+            sources.extend(g_src)
+            sinks.extend(g_snk)
+            if not sols:
+                # a dead group kills the AND node
+                return [], seq_total, max(cp_parts, default=0), tuple(sources), tuple(sinks)
+        # cross-join independent groups: no shared vars => plain product
+        combined = per_group[0]
+        for sols in per_group[1:]:
+            merged: list[Subst] = []
+            for left in combined:
+                for right in sols:
+                    stats.join_work += 1
+                    merged.append({**left, **right})
+                    if len(merged) > self.max_answers:
+                        raise RuntimeError("AND/OR join explosion")
+            combined = merged
+        # groups run AND-parallel: time is the slowest group
+        return combined, seq_total, max(cp_parts, default=0), tuple(sources), tuple(sinks)
+
+    def _solve_group(
+        self, goals: list[Term], depth: int, stats: AndOrStats
+    ) -> tuple[list[Subst], int, int, tuple, tuple]:
+        """Dependent goals: left-to-right with sideways information
+        passing — each accumulated answer instantiates the next goal.
+        Per-answer OR solves of one goal are mutually independent
+        (OR-parallel), so the goal's time is their max; goals chain
+        sequentially (the dependency), so group time is the sum."""
+        answers: list[Subst] = [dict()]
+        seq_total = 0
+        cp_total = 0
+        group_sources: list = []
+        prev_sinks: list = []
+        for goal in goals:
+            next_answers: list[Subst] = []
+            cp_goal = 0
+            goal_sources: list = []
+            goal_sinks: list = []
+            for acc in answers:
+                inst = _apply(acc, goal)
+                sols, seq, cp, o_src, o_snk = self._solve_or(inst, depth, stats)
+                goal_sources.extend(o_src)
+                goal_sinks.extend(o_snk)
+                seq_total += seq
+                cp_goal = max(cp_goal, cp)
+                for sub in sols:
+                    stats.join_work += 1
+                    joined = _join(acc, sub)
+                    if joined is not None:
+                        next_answers.append(joined)
+                        if len(next_answers) > self.max_answers:
+                            raise RuntimeError("AND/OR join explosion")
+            answers = next_answers
+            cp_total += cp_goal
+            # sips barrier: this goal's tasks wait for the previous
+            # goal's whole subtree (its answers feed the instantiation)
+            if self._graph is not None:
+                for p in prev_sinks:
+                    for s in goal_sources:
+                        self._graph.add_edge(p, s)
+            if not group_sources:
+                group_sources = goal_sources
+            if goal_sinks:
+                prev_sinks = goal_sinks
+            if not answers:
+                break
+        return answers, seq_total, cp_total, tuple(group_sources), tuple(prev_sinks)
+
+    # -- OR node: one goal, one child AND node per resolving clause ---------
+    def _solve_or(
+        self, goal: Term, depth: int, stats: AndOrStats
+    ) -> tuple[list[Subst], int, int, tuple, tuple]:
+        stats.or_nodes += 1
+        own_task = None
+        if self._graph is not None:
+            self._tid += 1
+            own_task = self._graph.add_task(self._tid, 1.0)
+        if depth >= self.max_depth:
+            stats.depth_cutoffs += 1
+            mine = (own_task,) if own_task is not None else ()
+            return [], 1, 1, mine, mine
+        if isinstance(goal, Var):
+            raise BuiltinError("cannot call an unbound variable goal")
+        goal_ids = {v.id for v in term_vars(goal)}
+        if is_builtin(goal):
+            mine = (own_task,) if own_task is not None else ()
+            return self._solve_builtin(goal, goal_ids), 1, 1, mine, mine
+        answers: list[Subst] = []
+        seq_total = 1  # this node's own resolution work
+        cp_children: list[int] = []
+        child_sinks: list = []
+        candidates = self.program.candidates(goal)
+        stats.max_or_width = max(stats.max_or_width, len(candidates))
+        for cid in candidates:
+            clause = self.program.clause(cid)
+            head, body = _rename_clause(clause)
+            b = Bindings()
+            if not unify(goal, head, b):
+                continue
+            instantiated = tuple(b.resolve(g) for g in body)
+            sub_answers, seq, cp, a_src, a_snk = self._solve_and(
+                instantiated, depth + 1, stats
+            )
+            if self._graph is not None:
+                for s in a_src:
+                    self._graph.add_edge(own_task, s)
+                child_sinks.extend(a_snk if a_snk else ())
+            seq_total += seq
+            cp_children.append(cp)
+            for sub in sub_answers:
+                # project the clause-level answer onto the goal variables
+                projected: Subst = {}
+                for vid in goal_ids:
+                    value = b.resolve(Var("_", vid=vid))
+                    projected[vid] = _apply(sub, value)
+                answers.append(projected)
+                if len(answers) > self.max_answers:
+                    raise RuntimeError("AND/OR answer explosion")
+        # clauses try in parallel (OR-parallelism): time = slowest child
+        mine = (own_task,) if own_task is not None else ()
+        sinks = tuple(child_sinks) if child_sinks else mine
+        return answers, seq_total, 1 + max(cp_children, default=0), mine, sinks
+
+    def _solve_builtin(self, goal: Term, goal_ids: set[int]) -> list[Subst]:
+        b = Bindings()
+        out: list[Subst] = []
+        try:
+            for _ in call_builtin(goal, b):
+                out.append(
+                    {vid: b.resolve(Var("_", vid=vid)) for vid in goal_ids}
+                )
+        except BuiltinError:
+            return []
+        return out
+
+
+def _apply(sub: Subst, term: Term) -> Term:
+    """Apply an id-keyed substitution to a term."""
+    if isinstance(term, Var):
+        value = sub.get(term.id)
+        if value is None or value == term:
+            return term
+        return _apply(sub, value) if isinstance(value, Var) else _ground_apply(sub, value)
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(_apply(sub, a) for a in term.args))
+    return term
+
+
+def _ground_apply(sub: Subst, term: Term) -> Term:
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(_apply(sub, a) for a in term.args))
+    if isinstance(term, Var):
+        return _apply(sub, term)
+    return term
+
+
+def _join(left: Subst, right: Subst) -> Optional[Subst]:
+    """Merge two answers; None on conflicting bindings.
+
+    Shared variables must unify — we run full unification so partially
+    instantiated structures (e.g. ``X = f(Y)`` vs ``X = f(a)``) join
+    correctly rather than only on syntactic equality.
+    """
+    b = Bindings()
+    for vid, val in left.items():
+        if not unify(Var("_", vid=vid), val, b):
+            return None
+    for vid, val in right.items():
+        if not unify(Var("_", vid=vid), val, b):
+            return None
+    merged: Subst = {}
+    for vid in set(left) | set(right):
+        merged[vid] = b.resolve(Var("_", vid=vid))
+    return merged

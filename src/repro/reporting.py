@@ -1,0 +1,70 @@
+"""Row/series printers shared by the benchmark harness.
+
+Every benchmark regenerating a paper figure or experiment prints an
+aligned table through :func:`print_table` so the EXPERIMENTS.md
+paper-vs-measured records come straight from the harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "print_table", "format_series", "to_csv"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(cols, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, rows: Sequence[dict], columns: Sequence[str] | None = None
+) -> None:
+    """Print a titled table (benchmarks call this for every figure/table)."""
+    print(f"\n=== {title} ===")
+    print(format_table(rows, columns))
+
+
+def to_csv(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as CSV text (for downstream plotting tools)."""
+    import csv
+    import io
+
+    if not rows:
+        return ""
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for r in rows:
+        writer.writerow({c: r.get(c, "") for c in cols})
+    return buf.getvalue()
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence) -> str:
+    """One-line series rendering: ``name: x1->y1 x2->y2 ...``"""
+    pairs = " ".join(f"{_fmt(x)}->{_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

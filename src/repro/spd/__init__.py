@@ -1,0 +1,32 @@
+"""The Semantic Paging Disk of §6/figure 6: search processors with
+track caches and mark logic, semantic page extraction (MIMD and SIMD
+modes), and the fixed-size-paging baseline."""
+
+from .disk import (
+    BlockAddress,
+    Record,
+    SearchProcessor,
+    SpdCosts,
+    SpdStats,
+    Track,
+)
+from .ops import FixedPager, PageResult, SemanticPagingDisk, database_records
+from .simd import GlobalAddress, SimdSpd
+from .weights_io import WriteBackReport, write_back_weights
+
+__all__ = [
+    "Record",
+    "Track",
+    "SearchProcessor",
+    "SpdCosts",
+    "SpdStats",
+    "BlockAddress",
+    "SemanticPagingDisk",
+    "FixedPager",
+    "PageResult",
+    "database_records",
+    "SimdSpd",
+    "GlobalAddress",
+    "WriteBackReport",
+    "write_back_weights",
+]

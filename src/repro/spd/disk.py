@@ -1,0 +1,270 @@
+"""The Semantic Paging Disk (SPD), figure 6 / section 6.
+
+"The SPD consists of one or more search processors (SP).  Each SP has
+one or more tracks [...], a read-write head [...], a random access
+memory (a cache) able to hold a track's data, and logic to implement
+the actions described below.  The blocks of the linked list are stored
+in variable length records, which have a block number that is defined
+to be the number of blocks above it in the track.  [...] The logic is
+able to
+
+1. Search the data in a block associatively and mark the blocks.
+2. Follow all pointers, or only pointers with specified names, from
+   marked blocks to other blocks and mark them.
+3. Output, replace, insert and delete words in a marked block."
+
+Model: each :class:`SearchProcessor` owns one surface = a list of
+tracks (cylinder index → track).  Loading a track into the cache costs
+a seek (cylinder distance) plus one disk revolution; the three logic
+operations then run on the cache at RAM speed.  Costs are charged in
+cycles through :class:`SpdStats` so the machine simulator can overlap
+disk latency with computation.
+
+Records carry the *database block id* of the
+:class:`~repro.linkdb.blocks.Block` they store, its word size, and its
+pointers ``(name, target block id, weight)`` — enough for marking and
+pointer-following without re-parsing clause text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "Record",
+    "Track",
+    "SpdStats",
+    "SpdCosts",
+    "SearchProcessor",
+    "BlockAddress",
+]
+
+
+@dataclass(frozen=True)
+class Record:
+    """A variable-length record: one database block on disk."""
+
+    block_id: int  # global database block id (clause id)
+    words: int  # record length in memory words
+    pointers: tuple[tuple[str, int, float], ...]  # (name, target block id, weight)
+    payload: tuple = ()  # searchable words (head indicator symbols etc.)
+
+
+@dataclass
+class Track:
+    """An ordered sequence of records; local block number = position."""
+
+    records: list[Record] = field(default_factory=list)
+
+    @property
+    def words(self) -> int:
+        return sum(r.words for r in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass(frozen=True)
+class BlockAddress:
+    """Physical location of a database block: (sp, cylinder, record index)."""
+
+    sp: int
+    cylinder: int
+    index: int
+
+
+@dataclass
+class SpdCosts:
+    """Cycle costs of the disk model."""
+
+    seek_base: float = 50.0  # head settle
+    seek_per_cylinder: float = 5.0
+    words_per_revolution: int = 4096  # track capacity read in one revolution
+    revolution_cycles: float = 1000.0  # full rotation
+    cache_search_cycles: float = 2.0  # associative compare, whole cache
+    cache_follow_cycles_per_mark: float = 1.0
+    cache_update_cycles_per_word: float = 1.0
+
+    def load_cost(self, from_cyl: Optional[int], to_cyl: int) -> float:
+        """Seek + one revolution to stream the track into the cache."""
+        seek = 0.0
+        if from_cyl is None:
+            seek = self.seek_base
+        elif from_cyl != to_cyl:
+            seek = self.seek_base + self.seek_per_cylinder * abs(from_cyl - to_cyl)
+        return seek + self.revolution_cycles
+
+
+@dataclass
+class SpdStats:
+    track_loads: int = 0
+    cache_hits: int = 0  # operations served by the already-loaded track
+    searches: int = 0
+    follows: int = 0
+    updates: int = 0
+    marked_total: int = 0
+    cycles: float = 0.0
+    cross_cylinder_pointers: int = 0
+    read_retries: int = 0  # injected-fault re-reads (failure injection)
+
+
+class SearchProcessor:
+    """One SP: a surface of tracks, a single-track cache, and mark logic."""
+
+    def __init__(
+        self,
+        sp_id: int,
+        tracks: Sequence[Track],
+        costs: Optional[SpdCosts] = None,
+    ):
+        self.sp_id = sp_id
+        self.tracks = list(tracks)
+        self.costs = costs if costs is not None else SpdCosts()
+        self.cached_cylinder: Optional[int] = None
+        self.marks: set[int] = set()  # record indices marked in the cache
+        self.stats = SpdStats()
+        # failure injection: cylinder -> remaining transient read faults;
+        # each fault costs one extra revolution (a re-read) on load
+        self._faults: dict[int, int] = {}
+
+    # -- failure injection ------------------------------------------------------
+    def inject_fault(self, cylinder: int, retries: int = 1) -> None:
+        """Make the next ``retries`` loads of ``cylinder`` each require
+        one re-read revolution before the data verifies (a transient
+        media fault).  The SP always recovers — the model is latency,
+        not data loss."""
+        if retries < 1:
+            raise ValueError("retries must be >= 1")
+        self._faults[cylinder] = self._faults.get(cylinder, 0) + retries
+
+    # -- cache management -----------------------------------------------------
+    @property
+    def cache(self) -> Optional[Track]:
+        if self.cached_cylinder is None:
+            return None
+        return self.tracks[self.cached_cylinder]
+
+    def load_cylinder(self, cylinder: int) -> float:
+        """Bring ``cylinder``'s track into the cache; returns cycles spent.
+
+        A no-op (0 cycles, counted as a cache hit) when already loaded.
+        """
+        if not 0 <= cylinder < len(self.tracks):
+            raise IndexError(f"SP{self.sp_id} has no cylinder {cylinder}")
+        if self.cached_cylinder == cylinder:
+            self.stats.cache_hits += 1
+            return 0.0
+        cost = self.costs.load_cost(self.cached_cylinder, cylinder)
+        pending = self._faults.get(cylinder, 0)
+        if pending:
+            self._faults[cylinder] = pending - 1
+            self.stats.read_retries += 1
+            cost += self.costs.revolution_cycles  # one re-read
+        self.cached_cylinder = cylinder
+        self.marks.clear()
+        self.stats.track_loads += 1
+        self.stats.cycles += cost
+        return cost
+
+    # -- logic op 1: associative search ------------------------------------------
+    def search_mark(self, predicate: Callable[[Record], bool]) -> tuple[set[int], float]:
+        """Mark cached records satisfying ``predicate`` (associative scan).
+
+        Returns (newly marked record indices, cycles).  The scan is
+        content-addressable: one compare broadcast over the whole
+        cache, so the cost is constant per call.
+        """
+        track = self.cache
+        if track is None:
+            raise RuntimeError(f"SP{self.sp_id}: no track cached")
+        new = {
+            i for i, r in enumerate(track.records) if predicate(r) and i not in self.marks
+        }
+        self.marks |= new
+        self.stats.searches += 1
+        self.stats.marked_total += len(new)
+        cost = self.costs.cache_search_cycles
+        self.stats.cycles += cost
+        return new, cost
+
+    # -- logic op 2: pointer following ----------------------------------------------
+    def follow_marks(
+        self,
+        name: Optional[str] = None,
+        resolve: Optional[Callable[[int], Optional[int]]] = None,
+    ) -> tuple[set[int], list[tuple[str, int, float]], float]:
+        """Follow pointers out of marked records; mark in-cache targets.
+
+        ``resolve(block_id)`` maps a target block id to a record index
+        in *this* cache, or None if it lives elsewhere; such pointers
+        are returned as deferred (the SIMD layer saves them "until the
+        other cylinder is loaded into the cache").  With ``name`` given,
+        only pointers carrying that name are followed.
+        """
+        track = self.cache
+        if track is None:
+            raise RuntimeError(f"SP{self.sp_id}: no track cached")
+        if resolve is None:
+            local = {r.block_id: i for i, r in enumerate(track.records)}
+            resolve = local.get
+        newly: set[int] = set()
+        deferred: list[tuple[str, int, float]] = []
+        n_marked = len(self.marks)
+        for i in sorted(self.marks):
+            for pname, target, weight in track.records[i].pointers:
+                if name is not None and pname != name:
+                    continue
+                ix = resolve(target)
+                if ix is None:
+                    deferred.append((pname, target, weight))
+                    self.stats.cross_cylinder_pointers += 1
+                elif ix not in self.marks and ix not in newly:
+                    newly.add(ix)
+        self.marks |= newly
+        self.stats.follows += 1
+        self.stats.marked_total += len(newly)
+        cost = self.costs.cache_follow_cycles_per_mark * max(1, n_marked)
+        self.stats.cycles += cost
+        return newly, deferred, cost
+
+    # -- logic op 3: update ----------------------------------------------------------
+    def update_marked(
+        self, transform: Callable[[Record], Record], words_touched: int = 1
+    ) -> float:
+        """Replace each marked record via ``transform`` (output/replace/
+        insert/delete are all record rewrites at this granularity)."""
+        track = self.cache
+        if track is None:
+            raise RuntimeError(f"SP{self.sp_id}: no track cached")
+        for i in self.marks:
+            track.records[i] = transform(track.records[i])
+        self.stats.updates += 1
+        cost = self.costs.cache_update_cycles_per_word * words_touched * max(
+            1, len(self.marks)
+        )
+        self.stats.cycles += cost
+        return cost
+
+    def marked_records(self) -> list[Record]:
+        track = self.cache
+        if track is None:
+            return []
+        return [track.records[i] for i in sorted(self.marks)]
+
+    def clear_marks(self) -> None:
+        self.marks.clear()
+
+    # -- maintenance --------------------------------------------------------------
+    def garbage_collect(self, live: Callable[[Record], bool]) -> int:
+        """Compact every track, dropping dead records ("garbage collection
+        between tracks in a cylinder can be done in the SPs without
+        interacting with external processors").  Returns records dropped."""
+        dropped = 0
+        for t in self.tracks:
+            keep = [r for r in t.records if live(r)]
+            dropped += len(t.records) - len(keep)
+            t.records = keep
+        self.marks.clear()
+        self.cached_cylinder = None  # cache invalidated by compaction
+        return dropped

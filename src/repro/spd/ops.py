@@ -1,0 +1,317 @@
+"""Semantic paging operations over a set of SPs (§6).
+
+"The basic task of the database machine is to store a graph,
+implemented using pointers, and to extract a subgraph consisting of
+some selected nodes and all nodes within some Hamming distance of the
+selected nodes.  [...] rather than organizing data in fixed size
+pages, data is semantically organized in terms of a graph, and a page
+is a subgraph defined by the state of the process at run time."
+
+:class:`SemanticPagingDisk` lays a
+:class:`~repro.linkdb.build.LinkedDatabase` out over ``n_sps`` search
+processors (striped by track capacity, in block-id order so related
+clauses — which are usually consulted together — stay clustered), maps
+block ids to :class:`BlockAddress` es, and implements:
+
+* :meth:`page_in` — the semantic page: start blocks + all blocks within
+  Hamming distance ``radius``, via iterated mark/follow ops, returning
+  the block ids and the total disk cycles;
+* :meth:`fetch_blocks` — point lookups (the fixed-page comparison
+  baseline for E7 uses :class:`FixedPager` below).
+
+:class:`FixedPager` is the conventional alternative: fixed-size pages
+of consecutive blocks with an LRU cache — the thing semantic paging is
+claimed to beat on pointer-chasing workloads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..linkdb.build import LinkedDatabase
+from .disk import BlockAddress, Record, SearchProcessor, SpdCosts, SpdStats, Track
+
+__all__ = ["SemanticPagingDisk", "PageResult", "FixedPager", "database_records"]
+
+
+def database_records(db: LinkedDatabase) -> list[Record]:
+    """Serialize every database block to an SPD record."""
+    out: list[Record] = []
+    for block in db:
+        pointers = tuple(
+            (p.name, p.target, p.weight) for p in block.pointers
+        )
+        head = block.clause.head
+        try:
+            payload = block.indicator
+        except TypeError:
+            payload = (str(head), 0)
+        out.append(
+            Record(
+                block_id=block.block_id,
+                words=block.size_words,
+                pointers=pointers,
+                payload=payload,
+            )
+        )
+    return out
+
+
+@dataclass
+class PageResult:
+    """Outcome of one semantic page-in."""
+
+    blocks: set[int] = field(default_factory=set)
+    cycles: float = 0.0
+    track_loads: int = 0
+    deferred_followed: int = 0  # cross-track pointers chased
+
+
+class SemanticPagingDisk:
+    """A bank of SPs holding one linked database, with semantic paging.
+
+    Parameters
+    ----------
+    db:
+        The database to lay out.
+    n_sps:
+        Number of search processors (the paper's search-parallelism).
+    track_words:
+        Capacity of one track in words; consecutive blocks fill a track
+        then spill to the next (locality-preserving layout).
+    costs:
+        Disk cost model shared by all SPs.
+    """
+
+    def __init__(
+        self,
+        db: LinkedDatabase,
+        n_sps: int = 2,
+        track_words: int = 512,
+        costs: Optional[SpdCosts] = None,
+        layout: str = "unified",
+    ):
+        if n_sps < 1:
+            raise ValueError("need at least one SP")
+        if layout not in ("unified", "split"):
+            raise ValueError(f"unknown layout {layout!r}")
+        self.db = db
+        self.layout = layout
+        self.costs = costs if costs is not None else SpdCosts()
+        records = database_records(db)
+        if layout == "unified":
+            # Locality layout (the paper's §6 position: "there is little
+            # reason to have a separate database for rules and for
+            # facts"): fill tracks in block order, striping tracks
+            # round-robin over SPs so SPs can search concurrently.
+            groups = [(records, list(range(n_sps)))]
+        else:
+            # PRISM-style split (the alternative §6 argues against):
+            # rules on the first half of the SPs, facts on the second.
+            rule_ids = {
+                b.block_id for b in db if not b.is_fact
+            }
+            rules = [r for r in records if r.block_id in rule_ids]
+            facts = [r for r in records if r.block_id not in rule_ids]
+            half = max(1, n_sps // 2)
+            groups = [
+                (rules, list(range(half))),
+                (facts, list(range(half, n_sps)) or [n_sps - 1]),
+            ]
+        per_sp: list[list[Track]] = [[] for _ in range(n_sps)]
+        self.addresses: dict[int, BlockAddress] = {}
+        for group_records, group_sps in groups:
+            tracks: list[Track] = [Track()]
+            for rec in group_records:
+                if (
+                    tracks[-1].words + rec.words > track_words
+                    and len(tracks[-1]) > 0
+                ):
+                    tracks.append(Track())
+                tracks[-1].records.append(rec)
+            for tix, track in enumerate(tracks):
+                sp = group_sps[tix % len(group_sps)]
+                cyl = len(per_sp[sp])
+                for rix, rec in enumerate(track.records):
+                    self.addresses[rec.block_id] = BlockAddress(sp, cyl, rix)
+                per_sp[sp].append(track)
+        self.sps = [
+            SearchProcessor(i, trs or [Track()], self.costs)
+            for i, trs in enumerate(per_sp)
+        ]
+
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def n_sps(self) -> int:
+        return len(self.sps)
+
+    def address(self, block_id: int) -> BlockAddress:
+        return self.addresses[block_id]
+
+    def combined_stats(self) -> SpdStats:
+        total = SpdStats()
+        for sp in self.sps:
+            s = sp.stats
+            total.track_loads += s.track_loads
+            total.cache_hits += s.cache_hits
+            total.searches += s.searches
+            total.follows += s.follows
+            total.updates += s.updates
+            total.marked_total += s.marked_total
+            total.cycles += s.cycles
+            total.cross_cylinder_pointers += s.cross_cylinder_pointers
+        return total
+
+    # -- maintenance -------------------------------------------------------------
+    def compact(self) -> int:
+        """Reclaim records of retracted blocks (§6: "garbage collection
+        between tracks in a cylinder can be done in the SPs without
+        interacting with external processors").
+
+        Drops every record whose block is no longer live in the
+        database, compacts the tracks, and rebuilds the address map.
+        Returns the number of records reclaimed.
+        """
+        live = {b.block_id for b in self.db}
+        dropped = 0
+        for sp in self.sps:
+            dropped += sp.garbage_collect(lambda r: r.block_id in live)
+        self.addresses = {}
+        for sp in self.sps:
+            for cyl, track in enumerate(sp.tracks):
+                for rix, rec in enumerate(track.records):
+                    self.addresses[rec.block_id] = BlockAddress(sp.sp_id, cyl, rix)
+        return dropped
+
+    # -- operations --------------------------------------------------------------
+    def fetch_blocks(self, block_ids: Iterable[int]) -> tuple[set[int], float]:
+        """Point-fetch: load whichever tracks hold the blocks (grouped so
+        each needed track is loaded at most once); returns (found, cycles)."""
+        cycles = 0.0
+        found: set[int] = set()
+        by_track: dict[tuple[int, int], list[int]] = {}
+        for bid in block_ids:
+            addr = self.addresses.get(bid)
+            if addr is None:
+                continue
+            by_track.setdefault((addr.sp, addr.cylinder), []).append(bid)
+        for (sp_ix, cyl), bids in sorted(by_track.items()):
+            cycles += self.sps[sp_ix].load_cylinder(cyl)
+            found.update(bids)
+        return found, cycles
+
+    def page_in(
+        self,
+        start_blocks: Sequence[int],
+        radius: int = 1,
+        name: Optional[str] = None,
+    ) -> PageResult:
+        """Extract the semantic page: ``start_blocks`` plus every block
+        within pointer distance ``radius`` (following only ``name``-d
+        pointers when given).
+
+        Implemented exactly as the paper's ops: mark the start blocks
+        (op 1), then ``radius`` rounds of follow (op 2); cross-track
+        pointers are deferred and chased by loading their tracks.
+        """
+        result = PageResult()
+        frontier: set[int] = set()
+        for bid in start_blocks:
+            if bid in self.addresses:
+                frontier.add(bid)
+        result.blocks |= frontier
+        for _ in range(radius):
+            if not frontier:
+                break
+            next_frontier: set[int] = set()
+            by_track: dict[tuple[int, int], set[int]] = {}
+            for bid in frontier:
+                addr = self.addresses[bid]
+                by_track.setdefault((addr.sp, addr.cylinder), set()).add(bid)
+            for (sp_ix, cyl), bids in sorted(by_track.items()):
+                sp = self.sps[sp_ix]
+                loads_before = sp.stats.track_loads
+                result.cycles += sp.load_cylinder(cyl)
+                result.track_loads += sp.stats.track_loads - loads_before
+                sp.clear_marks()
+                _, cost = sp.search_mark(lambda r, want=bids: r.block_id in want)
+                result.cycles += cost
+                track = sp.cache
+                assert track is not None
+                local = {r.block_id: i for i, r in enumerate(track.records)}
+
+                def resolve(target: int, _local=local, _cyl=cyl, _sp=sp_ix) -> Optional[int]:
+                    addr = self.addresses.get(target)
+                    if addr is None:
+                        return None
+                    if addr.sp == _sp and addr.cylinder == _cyl:
+                        return _local.get(target)
+                    return None
+
+                newly, deferred, cost = sp.follow_marks(name=name, resolve=resolve)
+                result.cycles += cost
+                for i in newly:
+                    bid = track.records[i].block_id
+                    if bid not in result.blocks:
+                        next_frontier.add(bid)
+                for _, target, _w in deferred:
+                    if target in self.addresses and target not in result.blocks:
+                        next_frontier.add(target)
+                        result.deferred_followed += 1
+            result.blocks |= next_frontier
+            frontier = next_frontier
+        return result
+
+
+class FixedPager:
+    """Conventional fixed-size paging with LRU — the E7 baseline.
+
+    Blocks are grouped into pages of ``blocks_per_page`` consecutive
+    ids; ``touch`` faults the holding page in (cost = one track load)
+    if absent, evicting LRU beyond ``cache_pages``.
+    """
+
+    def __init__(
+        self,
+        db: LinkedDatabase,
+        blocks_per_page: int = 8,
+        cache_pages: int = 4,
+        page_load_cycles: float = 1050.0,  # seek_base + revolution, roughly
+    ):
+        if blocks_per_page < 1 or cache_pages < 1:
+            raise ValueError("bad pager parameters")
+        self.blocks_per_page = blocks_per_page
+        self.cache_pages = cache_pages
+        self.page_load_cycles = page_load_cycles
+        self._cache: OrderedDict[int, None] = OrderedDict()
+        self.faults = 0
+        self.hits = 0
+        self.cycles = 0.0
+
+    def page_of(self, block_id: int) -> int:
+        return block_id // self.blocks_per_page
+
+    def touch(self, block_id: int) -> float:
+        """Access a block; returns the cycles charged (0 on a hit)."""
+        page = self.page_of(block_id)
+        if page in self._cache:
+            self._cache.move_to_end(page)
+            self.hits += 1
+            return 0.0
+        self.faults += 1
+        self._cache[page] = None
+        self._cache.move_to_end(page)
+        while len(self._cache) > self.cache_pages:
+            self._cache.popitem(last=False)
+        self.cycles += self.page_load_cycles
+        return self.page_load_cycles
+
+    def touch_all(self, block_ids: Iterable[int]) -> float:
+        return sum(self.touch(b) for b in block_ids)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.faults
+        return self.hits / total if total else 0.0

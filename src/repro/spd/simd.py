@@ -1,0 +1,182 @@
+"""SIMD mode for multi-SP operation (§6).
+
+"Where more than one SP is used, they can work independently (MIMD
+mode) or interdependently (SIMD mode).  In SIMD mode, all SPs work on
+the same track on their surface (a cylinder), and the tracks in a
+cylinder are presumed ordered in a chain.  A global block number is
+defined for each record [...] the number of records above its record in
+the current track, plus the number of records in all the tracks above
+this track.  The pointer becomes a pair (cylinder number, global
+pointer).  [...] The associative search operation (1) and the pointer
+transfer (2) can be performed simultaneously in all SPs [...] If the
+pointer is to another cylinder, pointer transfer is handled by saving
+the pointer until the other cylinder is loaded into the cache."
+
+:class:`SimdSpd` lays the database out cylinder-major (a cylinder =
+``n_sps`` tracks, chained in SP order), computes global block numbers,
+and implements page extraction with per-cylinder batched deferral —
+one cylinder load serves *all* pending pointers into it, which is the
+SIMD payoff measured in E7.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..linkdb.build import LinkedDatabase
+from .disk import Record, SpdCosts, Track
+from .ops import PageResult, database_records
+
+__all__ = ["SimdSpd", "GlobalAddress"]
+
+
+@dataclass(frozen=True)
+class GlobalAddress:
+    """SIMD addressing: (cylinder, global block number within cylinder)."""
+
+    cylinder: int
+    global_number: int
+
+
+class SimdSpd:
+    """A cylinder-synchronous bank of SPs.
+
+    All SPs always cache the same cylinder; a load costs one seek +
+    revolution regardless of SP count (they rotate together), bringing
+    in ``n_sps`` tracks' worth of records at once.
+    """
+
+    def __init__(
+        self,
+        db: LinkedDatabase,
+        n_sps: int = 2,
+        track_words: int = 512,
+        costs: Optional[SpdCosts] = None,
+    ):
+        if n_sps < 1:
+            raise ValueError("need at least one SP")
+        self.db = db
+        self.n_sps = n_sps
+        self.costs = costs if costs is not None else SpdCosts()
+        records = database_records(db)
+        # cylinder-major layout: fill the n_sps tracks of cylinder 0 in
+        # chain order, then cylinder 1, ...
+        self.cylinders: list[list[Track]] = []
+        cur: list[Track] = [Track() for _ in range(n_sps)]
+        cur_track = 0
+        for rec in records:
+            if cur[cur_track].words + rec.words > track_words and len(cur[cur_track]) > 0:
+                cur_track += 1
+                if cur_track >= n_sps:
+                    self.cylinders.append(cur)
+                    cur = [Track() for _ in range(n_sps)]
+                    cur_track = 0
+            cur[cur_track].records.append(rec)
+        self.cylinders.append(cur)
+        # global block numbers: records above in track + in earlier tracks
+        self.global_address: dict[int, GlobalAddress] = {}
+        self._by_cyl_gnum: dict[tuple[int, int], Record] = {}
+        for cix, tracks in enumerate(self.cylinders):
+            gnum = 0
+            for track in tracks:
+                for rec in track.records:
+                    addr = GlobalAddress(cix, gnum)
+                    self.global_address[rec.block_id] = addr
+                    self._by_cyl_gnum[(cix, gnum)] = rec
+                    gnum += 1
+        self.cached_cylinder: Optional[int] = None
+        self.track_loads = 0
+        self.cache_hits = 0
+        self.cycles = 0.0
+        self.searches = 0
+        self.follows = 0
+        self.deferred_served = 0
+
+    # -- cache -----------------------------------------------------------------
+    def load_cylinder(self, cylinder: int) -> float:
+        """All SPs load ``cylinder`` together: one seek + revolution."""
+        if not 0 <= cylinder < len(self.cylinders):
+            raise IndexError(f"no cylinder {cylinder}")
+        if self.cached_cylinder == cylinder:
+            self.cache_hits += 1
+            return 0.0
+        cost = self.costs.load_cost(self.cached_cylinder, cylinder)
+        self.cached_cylinder = cylinder
+        self.track_loads += 1
+        self.cycles += cost
+        return cost
+
+    def cached_records(self) -> list[Record]:
+        if self.cached_cylinder is None:
+            return []
+        out: list[Record] = []
+        for track in self.cylinders[self.cached_cylinder]:
+            out.extend(track.records)
+        return out
+
+    # -- page extraction ------------------------------------------------------------
+    def page_in(
+        self,
+        start_blocks: Sequence[int],
+        radius: int = 1,
+        name: Optional[str] = None,
+    ) -> PageResult:
+        """Semantic page extraction with cylinder-batched deferral.
+
+        Pending pointer targets are grouped by cylinder; each loop
+        iteration loads the cylinder with the most pending work and
+        serves *all* of it with one SIMD search+follow — the "saving
+        the pointer until the other cylinder is loaded" discipline.
+        ``radius`` bounds the pointer distance from the start blocks.
+        """
+        result = PageResult()
+        # pending[cylinder] = set of (block id, remaining radius)
+        pending: dict[int, set[tuple[int, int]]] = defaultdict(set)
+        for bid in start_blocks:
+            addr = self.global_address.get(bid)
+            if addr is None:
+                continue
+            result.blocks.add(bid)
+            pending[addr.cylinder].add((bid, radius))
+        # best remaining radius each block has been reached with
+        seen_budget: dict[int, int] = {bid: radius for bid in result.blocks}
+        while pending:
+            cyl = max(pending, key=lambda c: len(pending[c]))
+            work = pending.pop(cyl)
+            loads_before = self.track_loads
+            result.cycles += self.load_cylinder(cyl)
+            result.track_loads += self.track_loads - loads_before
+            want = {bid for bid, budget in work if budget > 0}
+            if not want:
+                continue
+            budgets = {bid: budget for bid, budget in work}
+            # SIMD search: one associative compare across all SPs
+            self.searches += 1
+            result.cycles += self.costs.cache_search_cycles
+            # SIMD follow: all SPs transfer pointers simultaneously
+            self.follows += 1
+            result.cycles += self.costs.cache_follow_cycles_per_mark
+            for rec in self.cached_records():
+                if rec.block_id not in want:
+                    continue
+                budget = budgets[rec.block_id]
+                for pname, target, _w in rec.pointers:
+                    if name is not None and pname != name:
+                        continue
+                    taddr = self.global_address.get(target)
+                    if taddr is None:
+                        continue
+                    remaining = budget - 1
+                    prev = seen_budget.get(target, -1)
+                    if prev >= remaining:
+                        continue  # already reached with at least this budget
+                    seen_budget[target] = remaining
+                    result.blocks.add(target)
+                    if remaining > 0:
+                        if taddr.cylinder != cyl:
+                            self.deferred_served += 1
+                            result.deferred_followed += 1
+                        pending[taddr.cylinder].add((target, remaining))
+        return result

@@ -1,0 +1,107 @@
+"""Writing learned weights back to the disk-resident database (§5).
+
+"At the end of the session the global database will be updated [...]
+This substantial increase in database size and update complexity is
+needed so that weights can be maintained for each arc, in order to use
+'best-first' searching."
+
+:func:`write_back_weights` persists a weight store's pointer entries
+into the SPD-resident records using the figure-6 logic operations —
+per dirty block: load the holding track (seek + revolution unless
+cached), associative **mark** (op 1), and **update** (op 3) rewriting
+the record's pointer-weight words.  The report quantifies exactly the
+maintenance cost the paper accepts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..ortree.tree import ArcKey
+from ..weights.store import WeightStore
+from .disk import Record
+from .ops import SemanticPagingDisk
+
+__all__ = ["WriteBackReport", "write_back_weights"]
+
+
+@dataclass
+class WriteBackReport:
+    """What one session-end weight write-back cost."""
+
+    dirty_pointers: int = 0
+    blocks_touched: int = 0
+    track_loads: int = 0
+    cycles: float = 0.0
+    words_written: int = 0
+
+
+def write_back_weights(
+    spd: SemanticPagingDisk, store: WeightStore
+) -> WriteBackReport:
+    """Persist every pointer entry of ``store`` into the SPD records.
+
+    Returns the cost report.  The in-memory
+    :class:`~repro.linkdb.build.LinkedDatabase` view is refreshed too,
+    so database and disk agree afterwards.
+    """
+    report = WriteBackReport()
+    # group dirty pointers by the block that physically holds them
+    dirty: dict[int, dict[tuple[int, int], float]] = defaultdict(dict)
+    for key in store.keys():
+        if key.kind != "pointer":
+            continue
+        block_id, literal_ix, target = key.key
+        if block_id < 0:
+            continue  # query pseudo-block has no disk record
+        dirty[block_id][(literal_ix, target)] = store.weight(key)
+        report.dirty_pointers += 1
+    # visit blocks grouped by their physical track to batch loads
+    by_track: dict[tuple[int, int], list[int]] = defaultdict(list)
+    for block_id in dirty:
+        addr = spd.addresses.get(block_id)
+        if addr is None:
+            continue
+        by_track[(addr.sp, addr.cylinder)].append(block_id)
+    for (sp_ix, cyl), block_ids in sorted(by_track.items()):
+        sp = spd.sps[sp_ix]
+        loads_before = sp.stats.track_loads
+        report.cycles += sp.load_cylinder(cyl)
+        report.track_loads += sp.stats.track_loads - loads_before
+        sp.clear_marks()
+        want = set(block_ids)
+        _, cost = sp.search_mark(lambda r: r.block_id in want)
+        report.cycles += cost
+
+        def rewrite(record: Record) -> Record:
+            updates = dirty[record.block_id]
+            new_pointers = []
+            touched = 0
+            for ix, (name, target, weight) in enumerate(record.pointers):
+                lit_ix = _literal_index(spd, record.block_id, ix)
+                new_w = updates.get((lit_ix, target))
+                if new_w is not None and new_w != weight:
+                    new_pointers.append((name, target, new_w))
+                    touched += 1
+                else:
+                    new_pointers.append((name, target, weight))
+            report.words_written += touched
+            return Record(
+                block_id=record.block_id,
+                words=record.words,
+                pointers=tuple(new_pointers),
+                payload=record.payload,
+            )
+
+        report.cycles += sp.update_marked(rewrite, words_touched=1)
+        report.blocks_touched += len(block_ids)
+    spd.db.refresh_weights()
+    return report
+
+
+def _literal_index(spd: SemanticPagingDisk, block_id: int, pointer_ix: int) -> int:
+    """The body-literal index of the pointer_ix-th pointer of a block
+    (records store pointers in the same order as the database blocks)."""
+    block = spd.db.block(block_id)
+    return block.pointers[pointer_ix].literal_index

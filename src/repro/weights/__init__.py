@@ -1,0 +1,58 @@
+"""The B-LOG weighting scheme (paper §4–5): pointer weight store with
+the N+1 / A·N encodings, success/failure update rules, the theoretical
+linear-system solution for exact weights, and session management with
+conservative global merges."""
+
+from .conditional import (
+    ConditionalWeightStore,
+    conditional_on_failure,
+    conditional_on_success,
+)
+from .metrics import StoreSummary, chain_bound, store_distance, store_summary
+from .persist import load_store, save_store, store_from_dict, store_to_dict
+from .policies import (
+    POLICY_COMBINATIONS,
+    on_failure_policy,
+    on_success_policy,
+)
+from .session import (
+    MergeReport,
+    SessionManager,
+    merge_conservative,
+    merge_strong,
+)
+from .store import WeightEntry, WeightState, WeightStore
+from .theory import TheoryResult, solve_weights, store_from_theory, verify_assignment
+from .update import UpdateLog, apply_outcome, on_failure, on_success
+
+__all__ = [
+    "WeightStore",
+    "WeightState",
+    "WeightEntry",
+    "UpdateLog",
+    "on_failure",
+    "on_success",
+    "apply_outcome",
+    "TheoryResult",
+    "solve_weights",
+    "verify_assignment",
+    "store_from_theory",
+    "MergeReport",
+    "SessionManager",
+    "merge_conservative",
+    "merge_strong",
+    "ConditionalWeightStore",
+    "conditional_on_failure",
+    "conditional_on_success",
+    "on_failure_policy",
+    "on_success_policy",
+    "POLICY_COMBINATIONS",
+    "save_store",
+    "load_store",
+    "store_to_dict",
+    "store_from_dict",
+    "StoreSummary",
+    "store_summary",
+    "store_distance",
+    "chain_bound",
+]

@@ -1,0 +1,76 @@
+"""Diagnostics over weight stores: summaries and distances.
+
+Used by E3 to *quantify* convergence: the distance between the
+heuristically learned store and the §4 theoretical solution should
+shrink as a session progresses, and between consecutive sessions as
+the conservative merges average out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ortree.tree import ArcKey
+from .store import WeightState, WeightStore
+
+__all__ = ["StoreSummary", "store_summary", "store_distance", "chain_bound"]
+
+
+@dataclass(frozen=True)
+class StoreSummary:
+    known: int
+    infinite: int
+    known_weight_sum: float
+    known_weight_max: float
+
+    @property
+    def entries(self) -> int:
+        return self.known + self.infinite
+
+
+def store_summary(store: WeightStore) -> StoreSummary:
+    """Counts and aggregates over a store's explicit entries."""
+    known = 0
+    infinite = 0
+    total = 0.0
+    biggest = 0.0
+    for key in store.keys():
+        e = store.entry(key)
+        if e.state is WeightState.KNOWN:
+            known += 1
+            total += e.value
+            biggest = max(biggest, e.value)
+        elif e.state is WeightState.INFINITE:
+            infinite += 1
+    return StoreSummary(
+        known=known,
+        infinite=infinite,
+        known_weight_sum=total,
+        known_weight_max=biggest,
+    )
+
+
+def store_distance(a: WeightStore, b: WeightStore) -> float:
+    """Mean absolute weight difference over the union of explicit keys.
+
+    Infinities compare as the larger of the two stores' encodings, so
+    an infinity vs a small known weight contributes a large (finite)
+    penalty, and matching infinities contribute zero.
+    """
+    keys = set(a.keys()) | set(b.keys())
+    if not keys:
+        return 0.0
+    total = 0.0
+    for key in keys:
+        total += abs(a.weight(key) - b.weight(key))
+    return total / len(keys)
+
+
+def chain_bound(store: WeightStore, keys) -> float:
+    """Sum of the store's weights over an arc-key chain (builtins free)."""
+    total = 0.0
+    for key in keys:
+        if isinstance(key, ArcKey) and key.kind == "builtin":
+            continue
+        total += store.weight(key)
+    return total

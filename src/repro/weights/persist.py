@@ -1,0 +1,91 @@
+"""Persisting the global weight database (§5's "global database in
+secondary storage") to JSON.
+
+The paper keeps the global weights on disk between sessions; the SPD
+write-back (:mod:`repro.spd.weights_io`) models the *cost* of that, and
+this module provides the practical library feature: save/load a
+:class:`WeightStore` so learning survives process restarts.
+
+Arc keys serialize structurally.  Pointer and builtin keys round-trip
+exactly; goal-policy keys (which embed terms) serialize via the term
+text and re-parse on load, with canonical variable ids preserved by the
+canonicalization being deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..logic.parser import parse_term
+from ..ortree.tree import ArcKey, canonical_goal
+from .store import WeightState, WeightStore
+
+__all__ = ["save_store", "load_store", "store_to_dict", "store_from_dict"]
+
+
+def _key_to_json(key: ArcKey) -> dict:
+    if key.kind == "pointer":
+        caller, literal, callee = key.key
+        return {"kind": "pointer", "caller": caller, "literal": literal, "callee": callee}
+    if key.kind == "builtin":
+        (indicator,) = key.key
+        return {"kind": "builtin", "name": indicator[0], "arity": indicator[1]}
+    if key.kind == "goal":
+        term, callee = key.key
+        return {"kind": "goal", "goal": str(term), "callee": callee}
+    raise ValueError(f"unknown arc key kind {key.kind!r}")
+
+
+def _key_from_json(data: dict) -> ArcKey:
+    kind = data["kind"]
+    if kind == "pointer":
+        return ArcKey("pointer", (data["caller"], data["literal"], data["callee"]))
+    if kind == "builtin":
+        return ArcKey("builtin", ((data["name"], data["arity"]),))
+    if kind == "goal":
+        term = canonical_goal(parse_term(data["goal"]))
+        return ArcKey("goal", (term, data["callee"]))
+    raise ValueError(f"unknown arc key kind {kind!r}")
+
+
+def store_to_dict(store: WeightStore) -> dict:
+    """The JSON-ready representation of a store."""
+    entries = []
+    for key in store.keys():
+        entry = store.entry(key)
+        entries.append(
+            {
+                "key": _key_to_json(key),
+                "state": entry.state.value,
+                "value": entry.value,
+            }
+        )
+    return {"format": "blog-weights-v1", "n": store.n, "a": store.a, "entries": entries}
+
+
+def store_from_dict(data: dict) -> WeightStore:
+    """Rebuild a store from :func:`store_to_dict` output."""
+    if data.get("format") != "blog-weights-v1":
+        raise ValueError(f"unrecognized weight store format {data.get('format')!r}")
+    store = WeightStore(n=data["n"], a=data["a"])
+    for item in data["entries"]:
+        key = _key_from_json(item["key"])
+        state = WeightState(item["state"])
+        if state is WeightState.INFINITE:
+            store.set_infinite(key)
+        elif state is WeightState.KNOWN:
+            store.set_known(key, item["value"])
+        # UNKNOWN entries are never stored
+    return store
+
+
+def save_store(store: WeightStore, path: Union[str, Path]) -> None:
+    """Write the store to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(store_to_dict(store), indent=1))
+
+
+def load_store(path: Union[str, Path]) -> WeightStore:
+    """Read a store previously written by :func:`save_store`."""
+    return store_from_dict(json.loads(Path(path).read_text()))

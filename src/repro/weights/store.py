@@ -1,0 +1,144 @@
+"""The weight store: per-pointer weights with the paper's encodings (§5).
+
+"During a session, we aim to set the bounds of all successful queries
+to the same constant, which we arbitrarily set to a number N.  Each
+pointer will have an 'unknown' weight, initialized to N+1 (which will
+be larger than a known solution that has a bound N).  [...] If the
+longest chain in a search tree is A arcs, we code 'infinity' as A*N."
+
+Weights are keyed by :class:`~repro.ortree.tree.ArcKey` — the database
+pointers of figure 4.  Builtin arcs are deterministic decisions and
+carry weight 0 (probability 1 → -log2(1) = 0).
+
+A weight is in one of three states:
+
+* ``UNKNOWN``  — never informed; numeric value N+1;
+* ``KNOWN``    — set by a successful search; numeric value stored;
+* ``INFINITE`` — set by a failed search; numeric value A·N.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..ortree.tree import ArcKey
+
+__all__ = ["WeightState", "WeightEntry", "WeightStore"]
+
+
+class WeightState(enum.Enum):
+    UNKNOWN = "unknown"
+    KNOWN = "known"
+    INFINITE = "infinite"
+
+
+@dataclass(frozen=True)
+class WeightEntry:
+    state: WeightState
+    value: float
+
+
+class WeightStore:
+    """Pointer-weight database (the figure-4 weights, logically).
+
+    Parameters
+    ----------
+    n:
+        The target bound N every successful chain should sum to.
+    a:
+        The longest chain length A; infinity encodes as ``a * n``.
+    """
+
+    def __init__(self, n: float = 16.0, a: int = 16):
+        if n <= 0:
+            raise ValueError("N must be positive")
+        if a < 2:
+            raise ValueError("A must be at least 2 for A*N > N+1 to hold")
+        self.n = float(n)
+        self.a = int(a)
+        self._entries: dict[ArcKey, WeightEntry] = {}
+
+    # -- encodings ---------------------------------------------------------
+    @property
+    def unknown_value(self) -> float:
+        return self.n + 1.0
+
+    @property
+    def infinity_value(self) -> float:
+        return self.a * self.n
+
+    # -- reads ----------------------------------------------------------------
+    def entry(self, key: ArcKey) -> WeightEntry:
+        """The entry for ``key``; builtins are KNOWN 0, else UNKNOWN N+1."""
+        e = self._entries.get(key)
+        if e is not None:
+            return e
+        if key.kind == "builtin":
+            return WeightEntry(WeightState.KNOWN, 0.0)
+        return WeightEntry(WeightState.UNKNOWN, self.unknown_value)
+
+    def weight(self, key: ArcKey) -> float:
+        """Numeric weight used for bounds (the ``weight_fn`` hook)."""
+        return self.entry(key).value
+
+    def state(self, key: ArcKey) -> WeightState:
+        return self.entry(key).state
+
+    def is_known(self, key: ArcKey) -> bool:
+        return self.state(key) is WeightState.KNOWN
+
+    def is_infinite(self, key: ArcKey) -> bool:
+        return self.state(key) is WeightState.INFINITE
+
+    def is_unknown(self, key: ArcKey) -> bool:
+        return self.state(key) is WeightState.UNKNOWN
+
+    def keys(self) -> Iterator[ArcKey]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ArcKey) -> bool:
+        return key in self._entries
+
+    # -- writes -------------------------------------------------------------------
+    def set_known(self, key: ArcKey, value: float) -> None:
+        """Record a known (successful-search) weight; clamped at >= 0."""
+        if key.kind == "builtin":
+            return  # builtins stay at probability 1
+        self._entries[key] = WeightEntry(WeightState.KNOWN, max(0.0, float(value)))
+
+    def set_infinite(self, key: ArcKey) -> None:
+        """Record a failure weight (A·N encoding)."""
+        if key.kind == "builtin":
+            return
+        self._entries[key] = WeightEntry(WeightState.INFINITE, self.infinity_value)
+
+    def forget(self, key: ArcKey) -> None:
+        """Drop a key back to UNKNOWN."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- copies / views -----------------------------------------------------------
+    def copy(self) -> "WeightStore":
+        """Independent copy (the session-local store of §5)."""
+        out = WeightStore(self.n, self.a)
+        out._entries = dict(self._entries)
+        return out
+
+    def snapshot(self) -> dict[ArcKey, WeightEntry]:
+        return dict(self._entries)
+
+    def weight_fn(self):
+        """A callable suitable as :class:`OrTree`'s ``weight_fn``."""
+        return self.weight
+
+    def __repr__(self) -> str:
+        known = sum(1 for e in self._entries.values() if e.state is WeightState.KNOWN)
+        inf = sum(1 for e in self._entries.values() if e.state is WeightState.INFINITE)
+        return f"WeightStore(N={self.n:g}, A={self.a}, known={known}, infinite={inf})"

@@ -1,0 +1,104 @@
+"""Weight update rules on search outcomes (paper §5).
+
+Failure rule — "If a failed search occurs and it does not already have
+an arc with infinite weight in the chain, we will set any one of the
+unknown weights to infinity.  The choice [...] should be the unknown
+nearest the leaf in the chain."
+
+Success rule — "If a solution to the query is found, we will reset all
+unknown or infinite weights as follows: if the known weights add up to
+a number greater than N, set them to 0, else if there are k unknown or
+infinite weights, set them equally so that the sum of weights is N,
+i.e. if the known weights add up to M, set them to (N-M)/k."
+
+Both rules take the chain's arcs root→leaf (``OrTree.chain_arcs``).
+Builtin arcs are transparent (always weight 0, never updated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..ortree.tree import ArcKey, OrArc
+from .store import WeightState, WeightStore
+
+__all__ = ["UpdateLog", "on_failure", "on_success", "apply_outcome"]
+
+
+@dataclass
+class UpdateLog:
+    """What an update changed (for tests and the session audit trail)."""
+
+    kind: str  # "success" | "failure" | "noop"
+    set_known: list[tuple[ArcKey, float]] = field(default_factory=list)
+    set_infinite: list[ArcKey] = field(default_factory=list)
+    anomaly: bool = False  # §5: known weights exceeded N (clamped to 0)
+
+
+def _updatable(arcs: Sequence[OrArc]) -> list[ArcKey]:
+    """Distinct non-builtin arc keys in chain order (root→leaf)."""
+    out: list[ArcKey] = []
+    seen: set[ArcKey] = set()
+    for arc in arcs:
+        if arc.key.kind == "builtin":
+            continue
+        if arc.key not in seen:
+            seen.add(arc.key)
+            out.append(arc.key)
+    return out
+
+
+def on_failure(store: WeightStore, arcs: Sequence[OrArc]) -> UpdateLog:
+    """Apply the failure rule to a failed chain.
+
+    Sets the UNKNOWN weight nearest the leaf to infinity — unless the
+    chain already contains an infinite arc (the failure is already
+    "priced in") or contains no unknown arc (nothing safe to blame:
+    overriding a known weight would contradict a recorded success, the
+    pathological case §4 warns about).
+    """
+    keys = _updatable(arcs)
+    log = UpdateLog(kind="failure")
+    if any(store.is_infinite(k) for k in keys):
+        log.kind = "noop"
+        return log
+    for key in reversed(keys):  # nearest the leaf first
+        if store.is_unknown(key):
+            store.set_infinite(key)
+            log.set_infinite.append(key)
+            return log
+    log.kind = "noop"
+    log.anomaly = True  # all-known failed chain: inconsistent weights
+    return log
+
+
+def on_success(store: WeightStore, arcs: Sequence[OrArc]) -> UpdateLog:
+    """Apply the success rule to a solution chain.
+
+    Known weights sum to M.  If M > N, the unknown/infinite arcs get 0
+    (anomaly: the chain already overshoots the target bound).  Else the
+    k unknown-or-infinite arcs each get (N-M)/k, making the chain sum
+    exactly N.
+    """
+    keys = _updatable(arcs)
+    log = UpdateLog(kind="success")
+    known_sum = sum(store.weight(k) for k in keys if store.is_known(k))
+    resettable = [k for k in keys if not store.is_known(k)]
+    if not resettable:
+        log.kind = "noop"
+        return log
+    if known_sum > store.n:
+        log.anomaly = True
+        value = 0.0
+    else:
+        value = (store.n - known_sum) / len(resettable)
+    for key in resettable:
+        store.set_known(key, value)
+        log.set_known.append((key, value))
+    return log
+
+
+def apply_outcome(store: WeightStore, arcs: Sequence[OrArc], solved: bool) -> UpdateLog:
+    """Dispatch to the success or failure rule."""
+    return on_success(store, arcs) if solved else on_failure(store, arcs)

@@ -1,0 +1,66 @@
+"""Workload generators: the figure-1 family database and scaled
+variants, synthetic OR-trees with planted failures, N-queens, graph
+reachability, and map coloring."""
+
+from .family import (
+    FIGURE1_QUERY,
+    FIGURE1_SOURCE,
+    FamilyInstance,
+    family_program,
+    query_sequence,
+    scaled_family,
+)
+from .graphs import GraphInstance, grid_program, random_digraph_program
+from .hanoi import (
+    HANOI_SOURCE,
+    hanoi_moves,
+    hanoi_program,
+    hanoi_query,
+    solve_hanoi,
+)
+from .mapcolor import AUSTRALIA, MapInstance, map_coloring_program
+from .nqueens import board_from_term, nqueens_program, nqueens_query, solve_nqueens
+from .nrev import NREV_SOURCE, nrev_inferences, nrev_program, nrev_query, run_nrev
+from .deriv import DERIV_SOURCE, deriv_program, differentiate, nested_expr
+from .puzzle import PUZZLE_SOURCE, puzzle_program, puzzle_query, solve_puzzle
+from .synthetic import SyntheticTree, comb_tree, synthetic_tree
+
+__all__ = [
+    "FIGURE1_SOURCE",
+    "FIGURE1_QUERY",
+    "family_program",
+    "FamilyInstance",
+    "scaled_family",
+    "query_sequence",
+    "SyntheticTree",
+    "synthetic_tree",
+    "comb_tree",
+    "nqueens_program",
+    "nqueens_query",
+    "solve_nqueens",
+    "board_from_term",
+    "NREV_SOURCE",
+    "nrev_program",
+    "nrev_query",
+    "nrev_inferences",
+    "run_nrev",
+    "DERIV_SOURCE",
+    "deriv_program",
+    "differentiate",
+    "nested_expr",
+    "PUZZLE_SOURCE",
+    "puzzle_program",
+    "puzzle_query",
+    "solve_puzzle",
+    "GraphInstance",
+    "HANOI_SOURCE",
+    "hanoi_program",
+    "hanoi_query",
+    "hanoi_moves",
+    "solve_hanoi",
+    "random_digraph_program",
+    "grid_program",
+    "MapInstance",
+    "map_coloring_program",
+    "AUSTRALIA",
+]

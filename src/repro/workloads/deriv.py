@@ -1,0 +1,45 @@
+"""Symbolic differentiation — Warren's classic term-heavy benchmark.
+
+``d/3`` rewrites expression trees (``plus``, ``times``, ``power``,
+constants, the variable ``x``), producing deeply nested structures —
+the workload that stresses unification and term copying (large
+``term_size`` per resolution), complementing nrev's list cells.
+"""
+
+from __future__ import annotations
+
+from ..logic.program import Program
+from ..logic.solver import Solver
+from ..logic.terms import Term
+
+__all__ = ["DERIV_SOURCE", "deriv_program", "differentiate", "nested_expr"]
+
+DERIV_SOURCE = """\
+d(x, 1).
+d(num(_), num(0)).
+d(plus(A, B), plus(DA, DB)) :- d(A, DA), d(B, DB).
+d(minus(A, B), minus(DA, DB)) :- d(A, DA), d(B, DB).
+d(times(A, B), plus(times(A, DB), times(DA, B))) :- d(A, DA), d(B, DB).
+d(power(x, N), times(num(N), power(x, M))) :- M is N - 1.
+"""
+
+
+def deriv_program() -> Program:
+    return Program.from_source(DERIV_SOURCE)
+
+
+def nested_expr(depth: int) -> str:
+    """A nested expression: times(plus(x, num(k)), ...) of given depth."""
+    expr = "x"
+    for k in range(depth):
+        expr = f"times(plus(x, num({k})), {expr})"
+    return expr
+
+
+def differentiate(expr_src: str) -> Term:
+    """Differentiate ``expr_src`` with respect to x; returns the term."""
+    solver = Solver(deriv_program(), max_depth=512)
+    sols = solver.solve_all(f"d({expr_src}, D)", max_solutions=1)
+    if not sols:
+        raise ValueError(f"cannot differentiate {expr_src!r}")
+    return sols[0]["D"]

@@ -1,0 +1,148 @@
+"""The paper's family database (figure 1) and scalable variants.
+
+``FIGURE1_SOURCE`` is the exact program of figure 1 (ten facts, two
+grandfather rules).  :func:`scaled_family` generates a random family
+forest of configurable size with the same predicate shapes (``f``/``m``
+facts; ``gf``, ``gm``, ``anc``, ``sib`` rules) so the figure-1 workload
+can be scaled for E1/E3/E5 sweeps, and
+:func:`query_sequence` produces the "succession of similar queries"
+(§5 sessions) over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..logic.program import Program
+
+__all__ = [
+    "FIGURE1_SOURCE",
+    "FIGURE1_QUERY",
+    "family_program",
+    "FamilyInstance",
+    "scaled_family",
+    "query_sequence",
+]
+
+FIGURE1_SOURCE = """\
+% Rules (figure 1)
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+% Facts (figure 1)
+f(curt,elain).
+f(sam,larry).
+f(dan,pat).
+f(larry,den).
+f(pat,john).
+f(larry,doug).
+m(elain,john).
+m(marian,elain).
+m(peg,den).
+m(peg,doug).
+"""
+
+FIGURE1_QUERY = "gf(sam,G)"
+
+RULES = """\
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+gm(X,Z) :- m(X,Y), f(Y,Z).
+gm(X,Z) :- m(X,Y), m(Y,Z).
+anc(X,Y) :- f(X,Y).
+anc(X,Y) :- m(X,Y).
+anc(X,Z) :- f(X,Y), anc(Y,Z).
+anc(X,Z) :- m(X,Y), anc(Y,Z).
+sib(X,Y) :- f(P,X), f(P,Y), X \\= Y.
+"""
+
+
+def family_program() -> Program:
+    """The exact figure-1 program."""
+    return Program.from_source(FIGURE1_SOURCE)
+
+
+@dataclass
+class FamilyInstance:
+    """A generated family workload: program + people by generation."""
+
+    program: Program
+    source: str
+    generations: list[list[str]]
+    fathers: dict[str, str]  # child -> father
+    mothers: dict[str, str]
+
+    @property
+    def people(self) -> list[str]:
+        return [p for gen in self.generations for p in gen]
+
+    @property
+    def roots(self) -> list[str]:
+        return list(self.generations[0])
+
+
+def scaled_family(
+    generations: int = 4,
+    children_per_couple: int = 2,
+    couples_per_generation: int = 2,
+    seed: int = 0,
+) -> FamilyInstance:
+    """Generate a family forest with the figure-1 predicate shapes.
+
+    Each generation pairs people into couples; each couple has
+    ``children_per_couple`` children, producing ``f``/``m`` facts, all
+    under the standard rules.  Deterministic for a given seed.
+    """
+    if generations < 2:
+        raise ValueError("need at least two generations")
+    rng = np.random.default_rng(seed)
+    gens: list[list[str]] = []
+    fathers: dict[str, str] = {}
+    mothers: dict[str, str] = {}
+    facts: list[str] = []
+    gens.append(
+        [f"g0p{i}" for i in range(2 * couples_per_generation)]
+    )
+    for g in range(1, generations):
+        prev = gens[-1]
+        this: list[str] = []
+        # pair previous generation into couples (shuffle for variety)
+        order = list(prev)
+        rng.shuffle(order)
+        couples = [
+            (order[2 * i], order[2 * i + 1]) for i in range(len(order) // 2)
+        ]
+        for ci, (dad, mom) in enumerate(couples):
+            for k in range(children_per_couple):
+                child = f"g{g}c{ci}k{k}"
+                this.append(child)
+                fathers[child] = dad
+                mothers[child] = mom
+                facts.append(f"f({dad},{child}).")
+                facts.append(f"m({mom},{child}).")
+        gens.append(this)
+    source = RULES + "\n" + "\n".join(facts) + "\n"
+    return FamilyInstance(
+        program=Program.from_source(source),
+        source=source,
+        generations=gens,
+        fathers=fathers,
+        mothers=mothers,
+    )
+
+
+def query_sequence(
+    instance: FamilyInstance,
+    n_queries: int = 8,
+    predicate: str = "gf",
+    seed: int = 1,
+) -> list[str]:
+    """A session's worth of similar queries: same predicate, subjects
+    drawn from the early generations (§5: "a second and third query
+    that is similar to the first one with some minor changes")."""
+    rng = np.random.default_rng(seed)
+    pool = [p for gen in instance.generations[:-2] for p in gen] or instance.people
+    subjects = rng.choice(pool, size=n_queries, replace=True)
+    return [f"{predicate}({s},G)" for s in subjects]

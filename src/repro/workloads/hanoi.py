@@ -1,0 +1,57 @@
+"""Towers of Hanoi — the classic deterministic recursion benchmark.
+
+A single-solution, deeply recursive program: ``hanoi(N, Moves)`` binds
+``Moves`` to the 2^N - 1 move list.  Deterministic programs are where
+§7 expects AND-parallelism (not OR-parallelism) to pay, making Hanoi a
+useful contrast workload to N-queens in the E9/E12 suites.
+"""
+
+from __future__ import annotations
+
+from ..logic.program import Program
+from ..logic.solver import Solver
+from ..logic.terms import Term, list_to_python
+
+__all__ = ["HANOI_SOURCE", "hanoi_program", "hanoi_query", "solve_hanoi", "hanoi_moves"]
+
+HANOI_SOURCE = """\
+hanoi(N, Moves) :- move(N, left, right, middle, Moves).
+
+move(0, _, _, _, []).
+move(N, From, To, Via, Moves) :-
+    N > 0,
+    M is N - 1,
+    move(M, From, Via, To, Before),
+    move(M, Via, To, From, After),
+    app(Before, [mv(From, To)|After], Moves).
+
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+"""
+
+
+def hanoi_program() -> Program:
+    return Program.from_source(HANOI_SOURCE)
+
+
+def hanoi_query(n: int) -> str:
+    return f"hanoi({n}, Moves)"
+
+
+def hanoi_moves(n: int) -> int:
+    """The move count 2^n - 1."""
+    return 2**n - 1
+
+
+def solve_hanoi(n: int) -> list[tuple[str, str]]:
+    """Solve n-disc Hanoi; returns [(from peg, to peg), ...]."""
+    if n < 0:
+        raise ValueError("disc count must be non-negative")
+    solver = Solver(hanoi_program(), max_depth=2 ** (n + 2) + 16)
+    sols = solver.solve_all(hanoi_query(n), max_solutions=1)
+    if not sols:
+        raise RuntimeError("hanoi query failed")
+    moves = []
+    for item in list_to_python(sols[0]["Moves"]):
+        moves.append((str(item.args[0]), str(item.args[1])))
+    return moves

@@ -1,0 +1,78 @@
+"""N-queens as a logic program — the classic non-deterministic search
+workload (OR-parallelism "is specially effective in speeding up
+non-deterministic programs, specially when more than one solution is
+needed", §7).
+
+The program places queens column by column with ``between/3``
+generating rows and arithmetic builtins checking diagonals; the OR
+fan-out at each column is the board size, giving wide frontiers for
+the parallel experiments.
+"""
+
+from __future__ import annotations
+
+from ..logic.program import Program
+from ..logic.solver import Solver
+from ..logic.terms import Term, list_to_python
+
+__all__ = ["nqueens_program", "nqueens_query", "solve_nqueens", "board_from_term"]
+
+
+def nqueens_program(n: int) -> Program:
+    """Build the N-queens program for an ``n``×``n`` board.
+
+    ``queens(Board)`` binds ``Board`` to a list of row numbers, one per
+    column.  ``safe`` checks the partial placement; ``noattack``
+    verifies diagonals and rows arithmetically.
+    """
+    if n < 1:
+        raise ValueError("board size must be >= 1")
+    src = f"""
+queens(Qs) :- place({n}, [], Qs).
+
+place(0, Acc, Acc).
+place(N, Acc, Qs) :-
+    N > 0,
+    between(1, {n}, Row),
+    noattack(Row, Acc, 1),
+    M is N - 1,
+    place(M, [Row|Acc], Qs).
+
+noattack(_, [], _).
+noattack(Row, [Q|Rest], Dist) :-
+    Row =\\= Q,
+    Diff is Row - Q,
+    NegDiff is Q - Row,
+    Diff =\\= Dist,
+    NegDiff =\\= Dist,
+    D2 is Dist + 1,
+    noattack(Row, Rest, D2).
+"""
+    return Program.from_source(src)
+
+
+def nqueens_query() -> str:
+    return "queens(Qs)"
+
+
+def board_from_term(term: Term) -> list[int]:
+    """Convert a solved ``Qs`` list term to Python row numbers."""
+    from ..logic.terms import Int
+
+    rows = []
+    for item in list_to_python(term):
+        if not isinstance(item, Int):
+            raise ValueError(f"non-integer board entry {item}")
+        rows.append(item.value)
+    return rows
+
+
+def solve_nqueens(n: int, max_solutions: int | None = None) -> list[list[int]]:
+    """All (or the first ``max_solutions``) N-queens boards via the
+    sequential baseline."""
+    program = nqueens_program(n)
+    solver = Solver(program, max_depth=8 * n + 32)
+    boards = []
+    for sol in solver.solve(nqueens_query(), max_solutions=max_solutions):
+        boards.append(board_from_term(sol["Qs"]))
+    return boards

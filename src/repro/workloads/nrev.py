@@ -1,0 +1,78 @@
+"""Naive reverse — the canonical 1980s Prolog throughput benchmark.
+
+``nrev/2`` on a list of length n performs exactly
+``n(n+1)/2 + n + 1`` logical inferences, so DEC-10-era systems quoted
+their speed in **LIPS** (logical inferences per second) measured on
+nrev/30.  We reproduce the benchmark to anchor our baseline engine in
+the paper's contemporary terms (a DEC-10 Prolog did ~30 kLIPS).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..logic.program import Program
+from ..logic.solver import Solver
+from ..logic.terms import Int, Term, list_to_python, make_list
+
+__all__ = ["NREV_SOURCE", "nrev_program", "nrev_query", "nrev_inferences", "run_nrev"]
+
+NREV_SOURCE = """\
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+"""
+
+
+def nrev_program() -> Program:
+    return Program.from_source(NREV_SOURCE)
+
+
+def nrev_query(n: int) -> tuple[str, Term]:
+    """The query text and the input list term for nrev of length ``n``."""
+    items = [Int(i) for i in range(1, n + 1)]
+    lst = make_list(items)
+    return f"nrev({lst}, R)", lst
+
+
+def nrev_inferences(n: int) -> int:
+    """The textbook inference count for nrev/n: n(n+1)/2 + n + 1."""
+    return n * (n + 1) // 2 + n + 1
+
+
+@dataclass
+class NrevResult:
+    n: int
+    reversed_ok: bool
+    resolutions: int
+    seconds: float
+
+    @property
+    def lips(self) -> float:
+        """Logical inferences (successful resolutions) per second."""
+        return self.resolutions / self.seconds if self.seconds > 0 else 0.0
+
+
+def run_nrev(n: int = 30, repeats: int = 10) -> NrevResult:
+    """Run nrev/n ``repeats`` times; returns aggregate LIPS."""
+    program = nrev_program()
+    query, _ = nrev_query(n)
+    solver = Solver(program, max_depth=4 * n + 32)
+    # warm check: the answer really is the reverse
+    sol = solver.solve_all(query, max_solutions=1)[0]
+    got = [t.value for t in list_to_python(sol["R"])]
+    ok = got == list(range(n, 0, -1))
+    solver.stats.reset()
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        solver.solve_all(query, max_solutions=1)
+    elapsed = time.perf_counter() - t0
+    return NrevResult(
+        n=n,
+        reversed_ok=ok,
+        resolutions=solver.stats.resolutions,
+        seconds=elapsed,
+    )

@@ -1,0 +1,47 @@
+"""Cryptarithmetic — generate-and-test constraint search.
+
+``AB + BA = CAC`` with distinct non-zero digits: a pure
+generate-and-test workload whose OR fan-out comes entirely from
+``between/3`` generators and whose pruning comes from arithmetic
+builtins — the shape where goal-ordering (selection rules) and learned
+weights interact with builtin tests.  The instance has exactly one
+solution (A=2, B=9, C=1: 29 + 92 = 121).
+"""
+
+from __future__ import annotations
+
+from ..logic.program import Program
+from ..logic.solver import Solver
+
+__all__ = ["PUZZLE_SOURCE", "puzzle_program", "puzzle_query", "solve_puzzle"]
+
+PUZZLE_SOURCE = """\
+% AB + BA = CAC, distinct non-zero digits
+puzzle(A, B, C) :-
+    between(1, 9, A),
+    between(1, 9, B),
+    A \\= B,
+    S is (10*A + B) + (10*B + A),
+    C is S // 100,
+    C >= 1,
+    A \\= C,
+    B \\= C,
+    S =:= 100*C + 10*A + C.
+"""
+
+
+def puzzle_program() -> Program:
+    return Program.from_source(PUZZLE_SOURCE)
+
+
+def puzzle_query() -> str:
+    return "puzzle(A, B, C)"
+
+
+def solve_puzzle() -> list[tuple[int, int, int]]:
+    """All (A, B, C) solutions of AB + BA = CAC."""
+    solver = Solver(puzzle_program(), max_depth=64)
+    out = []
+    for sol in solver.solve_all(puzzle_query()):
+        out.append((sol["A"].value, sol["B"].value, sol["C"].value))
+    return out

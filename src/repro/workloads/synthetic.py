@@ -1,0 +1,114 @@
+"""Synthetic OR-tree workloads with planted solutions and failures.
+
+These control exactly the properties the B-LOG arguments depend on:
+branching factor (frontier width → parallel speedup, E5/E6), depth
+(chain length → the A constant), and the *failure fraction* (how much
+of the tree is dead — the part learned weights let best-first skip,
+E1/E3).
+
+The generated program is a layered predicate chain::
+
+    l0(X) :- l1_b(X).      % one clause per branch b
+    ...
+    lk_b(leaf_b).          % only on live branches
+
+Branches marked dead carry no facts at the bottom, so every chain into
+them fails after ``depth`` resolutions — worst case for uninformed
+search, exactly one infinite weight for B-LOG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..logic.program import Program
+
+__all__ = ["SyntheticTree", "synthetic_tree", "comb_tree"]
+
+
+@dataclass
+class SyntheticTree:
+    """A generated layered OR-tree program."""
+
+    program: Program
+    source: str
+    branching: int
+    depth: int
+    n_solutions: int
+    n_dead_branches: int
+    query: str = "l0(W)"
+
+
+def synthetic_tree(
+    branching: int = 3,
+    depth: int = 4,
+    dead_fraction: float = 0.0,
+    seed: int = 0,
+) -> SyntheticTree:
+    """A uniform tree of the given branching/depth.
+
+    Leaf predicates on a ``dead_fraction`` of root-level subtrees have
+    no facts: every chain through them fails at full depth.  Live
+    leaves each contribute one solution.
+    """
+    if branching < 1 or depth < 1:
+        raise ValueError("branching and depth must be >= 1")
+    if not 0.0 <= dead_fraction < 1.0:
+        raise ValueError("dead_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    lines: list[str] = []
+    # level 0 fans into `branching` subtrees; each subtree is uniform
+    n_dead = int(round(dead_fraction * branching))
+    dead = set(rng.choice(branching, size=n_dead, replace=False)) if n_dead else set()
+    for b in range(branching):
+        lines.append(f"l0(X) :- s{b}_1(X).")
+    for b in range(branching):
+        for lvl in range(1, depth):
+            for _ in range(branching):
+                lines.append(f"s{b}_{lvl}(X) :- s{b}_{lvl + 1}(X).")
+        if b not in dead:
+            lines.append(f"s{b}_{depth}(leaf{b}).")
+    source = "\n".join(lines) + "\n"
+    live = branching - len(dead)
+    n_solutions = live * branching ** (depth - 1)
+    return SyntheticTree(
+        program=Program.from_source(source),
+        source=source,
+        branching=branching,
+        depth=depth,
+        n_solutions=n_solutions,
+        n_dead_branches=len(dead),
+    )
+
+
+def comb_tree(teeth: int = 8, tooth_depth: int = 6, solution_tooth: int = -1) -> SyntheticTree:
+    """A "comb": many deep teeth, exactly one of which has a solution.
+
+    Depth-first search in tooth order pays ``tooth_depth`` per wrong
+    tooth; learned weights jump straight to the right one — the
+    sharpest E3 illustration.  ``solution_tooth`` indexes the live
+    tooth (default: the last one, worst case for DFS).
+    """
+    if teeth < 1 or tooth_depth < 1:
+        raise ValueError("teeth and tooth_depth must be >= 1")
+    live = solution_tooth % teeth
+    lines = []
+    for t in range(teeth):
+        lines.append(f"l0(X) :- t{t}_1(X).")
+    for t in range(teeth):
+        for lvl in range(1, tooth_depth):
+            lines.append(f"t{t}_{lvl}(X) :- t{t}_{lvl + 1}(X).")
+        if t == live:
+            lines.append(f"t{t}_{tooth_depth}(prize).")
+    source = "\n".join(lines) + "\n"
+    return SyntheticTree(
+        program=Program.from_source(source),
+        source=source,
+        branching=teeth,
+        depth=tooth_depth,
+        n_solutions=1,
+        n_dead_branches=teeth - 1,
+    )

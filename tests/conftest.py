@@ -1,0 +1,37 @@
+"""Shared fixtures: the figure-1 program and common workloads."""
+
+import pytest
+
+from repro.logic import Program
+from repro.workloads import FIGURE1_SOURCE, family_program
+
+
+@pytest.fixture
+def figure1() -> Program:
+    """The exact program of the paper's figure 1."""
+    return family_program()
+
+
+@pytest.fixture
+def append_program() -> Program:
+    return Program.from_source(
+        """
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+        """
+    )
+
+
+@pytest.fixture
+def section5_program() -> Program:
+    """The clause set of section 5's worked example (figure 4)."""
+    return Program.from_source(
+        """
+        a :- b, c, d.
+        b :- e.
+        b :- f.
+        c :- g.
+        d :- h.
+        e. f. g. h.
+        """
+    )

@@ -1,0 +1,185 @@
+"""Tests for the Conery–Kibler AND/OR process model (the [4] baseline)."""
+
+import pytest
+
+from repro.logic import Program, Solver
+from repro.ortree.andor import AndOrEvaluator
+from repro.workloads import (
+    family_program,
+    grid_program,
+    map_coloring_program,
+    scaled_family,
+    synthetic_tree,
+)
+
+
+def answer_multiset(result, var):
+    return sorted(str(a[var]) for a in result.answers)
+
+
+def baseline_multiset(program, query, var, max_depth=64):
+    return sorted(
+        str(s[var]) for s in Solver(program, max_depth=max_depth).solve_all(query)
+    )
+
+
+class TestEquivalenceWithSLD:
+    def test_figure1(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run("gf(sam, G)")
+        assert answer_multiset(res, "G") == ["den", "doug"]
+
+    def test_conjunction_query(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run("f(sam, Y), f(Y, Z)")
+        pairs = sorted((str(a["Y"]), str(a["Z"])) for a in res.answers)
+        assert pairs == [("larry", "den"), ("larry", "doug")]
+
+    def test_failed_query(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run("gf(john, G)")
+        assert res.answers == []
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_synthetic_trees(self, seed):
+        wl = synthetic_tree(3, 3, 0.34, seed=seed)
+        base = baseline_multiset(wl.program, wl.query, "W", max_depth=32)
+        res = AndOrEvaluator(wl.program, max_depth=32).run(wl.query)
+        assert answer_multiset(res, "W") == base
+
+    def test_family_anc(self):
+        fam = scaled_family(4, 2, 2, seed=31)
+        q = f"anc({fam.roots[0]}, D)"
+        base = baseline_multiset(fam.program, q, "D")
+        res = AndOrEvaluator(fam.program, max_depth=64).run(q)
+        assert answer_multiset(res, "D") == base
+
+    def test_grid_paths(self):
+        gi = grid_program(3, 2)
+        base = baseline_multiset(gi.program, "path(c0_0, Y)", "Y")
+        res = AndOrEvaluator(gi.program, max_depth=32).run("path(c0_0, Y)")
+        assert answer_multiset(res, "Y") == base
+
+    def test_ground_query(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run("gf(sam, den)")
+        assert len(res.answers) == 1
+
+    def test_builtins_inside(self):
+        p = Program.from_source("double(X, Y) :- Y is X * 2.\nsmall(X) :- X < 10.")
+        res = AndOrEvaluator(p, max_depth=8).run("double(3, Y)")
+        assert answer_multiset(res, "Y") == ["6"]
+        assert AndOrEvaluator(p, max_depth=8).run("small(3)").answers
+        assert not AndOrEvaluator(p, max_depth=8).run("small(30)").answers
+
+
+class TestJoinSemantics:
+    def test_shared_variable_join_filters(self, figure1):
+        """f(sam,Y) x m(Y,Z): the only join key larry has no m facts."""
+        res = AndOrEvaluator(figure1, max_depth=16).run("f(sam, Y), m(Y, Z)")
+        assert res.answers == []
+        assert res.stats.join_work > 0
+
+    def test_independent_goals_full_product(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run("m(peg, A), f(larry, B)")
+        assert len(res.answers) == 4  # 2 x 2
+
+    def test_structural_join(self):
+        """Partially instantiated structures must unify at the join."""
+        p = Program.from_source(
+            """
+            make(pair(X, b)) :- item(X).
+            need(pair(a, Y)) :- tag(Y).
+            item(a). item(c).
+            tag(b).
+            """
+        )
+        res = AndOrEvaluator(p, max_depth=8).run("make(P), need(P)")
+        assert len(res.answers) == 1
+        assert str(res.answers[0]["P"]) == "pair(a, b)"
+
+
+class TestStats:
+    def test_node_kinds_counted(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run("gf(sam, G)")
+        assert res.stats.or_nodes >= 3
+        assert res.stats.and_nodes >= 2
+
+    def test_or_width_is_clause_fanout(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run("f(X, Y)")
+        assert res.stats.max_or_width == 6
+
+    def test_and_width_is_body_length(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run("gf(sam, G)")
+        assert res.stats.max_and_width == 2
+
+    def test_critical_path_below_sequential(self):
+        wl = synthetic_tree(3, 3, seed=33)
+        res = AndOrEvaluator(wl.program, max_depth=32).run(wl.query)
+        assert 0 < res.stats.critical_path <= res.stats.sequential_work
+        assert res.ideal_speedup >= 1.0
+
+    def test_depth_cutoff_counted(self):
+        p = Program.from_source("loop(X) :- loop(X).\nloop(done).")
+        res = AndOrEvaluator(p, max_depth=8).run("loop(W)")
+        assert res.stats.depth_cutoffs > 0
+        # the fact-based answer still survives the cut recursion
+        assert "done" in answer_multiset(res, "W")
+
+    def test_answer_explosion_guard(self):
+        p = Program.from_source("\n".join(f"n({i})." for i in range(12)))
+        ev = AndOrEvaluator(p, max_depth=8, max_answers=100)
+        with pytest.raises(RuntimeError):
+            ev.run("n(A), n(B), n(C)")
+
+
+class TestColoring:
+    def test_map_coloring_count_matches(self):
+        mi = map_coloring_program(adjacency=[("a", "b"), ("b", "c")])
+        base = len(Solver(mi.program, max_depth=64).solve_all(mi.query))
+        res = AndOrEvaluator(mi.program, max_depth=64).run(mi.query)
+        assert len(res.answers) == base
+
+
+class TestTaskGraph:
+    def test_recording_off_by_default(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run("gf(sam, G)")
+        assert res.task_graph is None
+
+    def test_graph_matches_or_node_count(self, figure1):
+        res = AndOrEvaluator(figure1, max_depth=16).run(
+            "gf(sam, G)", record_tasks=True
+        )
+        g = res.task_graph
+        assert len(g.durations) == res.stats.or_nodes
+        assert g.total_work == float(res.stats.or_nodes)
+
+    def test_graph_is_acyclic_and_schedulable(self, figure1):
+        from repro.machine.schedule import list_schedule
+
+        res = AndOrEvaluator(figure1, max_depth=16).run(
+            "gf(sam, G)", record_tasks=True
+        )
+        r = list_schedule(res.task_graph, 2)
+        assert r.makespan >= res.task_graph.critical_path()
+
+    def test_finite_machine_between_bounds(self):
+        """1-processor makespan = total work; infinite-processor limit =
+        critical path; finite machines in between."""
+        from repro.machine.schedule import list_schedule
+
+        wl = synthetic_tree(3, 3, seed=84)
+        res = AndOrEvaluator(wl.program, max_depth=32).run(
+            wl.query, record_tasks=True
+        )
+        g = res.task_graph
+        m1 = list_schedule(g, 1).makespan
+        m4 = list_schedule(g, 4).makespan
+        m_many = list_schedule(g, len(g.durations)).makespan
+        assert m1 == g.total_work
+        assert g.critical_path() <= m_many <= m4 <= m1
+
+    def test_answers_identical_with_recording(self, figure1):
+        plain = AndOrEvaluator(figure1, max_depth=16).run("gf(sam, G)")
+        recorded = AndOrEvaluator(figure1, max_depth=16).run(
+            "gf(sam, G)", record_tasks=True
+        )
+        assert sorted(str(a["G"]) for a in plain.answers) == sorted(
+            str(a["G"]) for a in recorded.answers
+        )

@@ -1,0 +1,207 @@
+"""Unit tests for the §7 AND-parallel extensions."""
+
+import pytest
+
+from repro.andpar import (
+    AndParallelExecutor,
+    clause_dependency_report,
+    goal_vars,
+    hash_join,
+    independence_groups,
+    nested_loop_join,
+    runtime_groups,
+    semi_join,
+    semi_join_reduce,
+    share_variables,
+)
+from repro.logic import Bindings, Program, Solver, parse_query, parse_term, unify
+from repro.workloads import map_coloring_program
+
+
+class TestIndependence:
+    def test_disjoint_goals_independent(self):
+        g1, g2 = parse_query("f(X, Y), g(A, B)")
+        assert not share_variables(g1, g2)
+        assert independence_groups([g1, g2]) == [[0], [1]]
+
+    def test_shared_var_links(self):
+        g1, g2 = parse_query("f(X, Y), g(Y, Z)")
+        assert share_variables(g1, g2)
+        assert independence_groups([g1, g2]) == [[0, 1]]
+
+    def test_transitive_linking(self):
+        goals = parse_query("f(X, Y), g(Y, Z), h(Z, W), k(Q)")
+        assert independence_groups(list(goals)) == [[0, 1, 2], [3]]
+
+    def test_ground_goals_all_independent(self):
+        goals = parse_query("f(a, b), g(b, c), h(c)")
+        assert independence_groups(list(goals)) == [[0], [1], [2]]
+
+    def test_exclude_set_breaks_links(self):
+        g1, g2 = parse_query("f(X, Y), g(Y, Z)")
+        shared = (goal_vars(g1) & goal_vars(g2)).pop()
+        groups = independence_groups([g1, g2], exclude={shared})
+        assert groups == [[0], [1]]
+
+    def test_runtime_grounding_splits_groups(self):
+        """§7: dependencies disappear once the shared variable is bound."""
+        g1, g2 = parse_query("f(X, Y), g(Y, Z)")
+        b = Bindings()
+        y = (goal_vars(g1) & goal_vars(g2)).pop()
+        # ground Y at "run time"
+        from repro.logic import Atom, Var
+
+        unify(Var("Y", vid=y), Atom("mid"), b)
+        assert runtime_groups([g1, g2], b) == [[0], [1]]
+
+    def test_goal_vars_resolves_bindings(self):
+        g = parse_term("f(X, Y)")
+        b = Bindings()
+        from repro.logic import Atom, term_vars
+
+        x = term_vars(g)[0]
+        unify(x, Atom("k"), b)
+        assert len(goal_vars(g, b)) == 1
+
+
+class TestClauseReport:
+    def test_head_ground_assumption(self):
+        p = Program.from_source(
+            """
+            q(X, Y) :- a(X, M), b(Y, N), c(M, N).
+            r(X) :- s(X), t(X).
+            """
+        )
+        report = clause_dependency_report(p, assume_head_ground=True)
+        # clause 1: a and b share only head vars (excluded) but M,N link
+        # both to c => one group; clause 2: s,t share only head var X =>
+        # two singleton groups (fully parallel)
+        assert report[0].groups == [[0, 1, 2]]
+        assert report[1].groups == [[0], [1]]
+        assert report[1].fully_parallel
+        assert not report[0].fully_parallel
+
+    def test_without_ground_assumption(self):
+        p = Program.from_source("r(X) :- s(X), t(X).")
+        report = clause_dependency_report(p, assume_head_ground=False)
+        assert report[0].groups == [[0, 1]]
+        assert report[0].fully_sequential
+
+    def test_facts_skipped(self, figure1):
+        report = clause_dependency_report(figure1)
+        assert len(report) == 2  # only the two gf rules
+
+    def test_parallel_width(self):
+        p = Program.from_source("w(A) :- p(X), q(Y), r(Z).")
+        report = clause_dependency_report(p)
+        assert report[0].parallel_width == 3
+
+
+class TestExecutor:
+    def test_independent_conjunction_matches_prolog(self, figure1):
+        q = "gf(sam, G1), gf(curt, G2)"
+        seq = {
+            (str(s["G1"]), str(s["G2"]))
+            for s in Solver(figure1).solve_all(q)
+        }
+        ex = AndParallelExecutor(figure1)
+        res = ex.run(q)
+        got = {(str(a["G1"]), str(a["G2"])) for a in res.answers}
+        assert got == seq
+        assert res.parallel_width == 2
+
+    def test_dependent_conjunction_matches_prolog(self, figure1):
+        q = "f(sam, Y), f(Y, Z)"
+        seq = {
+            (str(s["Y"]), str(s["Z"])) for s in Solver(figure1).solve_all(q)
+        }
+        res = AndParallelExecutor(figure1).run(q)
+        got = {(str(a["Y"]), str(a["Z"])) for a in res.answers}
+        assert got == seq
+        assert res.parallel_width == 1
+
+    def test_empty_group_kills_product(self, figure1):
+        res = AndParallelExecutor(figure1).run("gf(sam, G1), gf(john, G2)")
+        assert res.answers == []
+
+    def test_speedup_reported_for_split_queries(self, figure1):
+        res = AndParallelExecutor(figure1).run("gf(sam, G1), gf(curt, G2)")
+        assert res.total_inferences > 0
+        assert res.critical_path_inferences <= res.total_inferences
+        assert res.and_parallel_speedup >= 1.0
+
+    def test_map_coloring_single_group(self):
+        mi = map_coloring_program()
+        ex = AndParallelExecutor(mi.program, max_depth=64)
+        res = ex.run(mi.query)
+        assert res.parallel_width == 1  # fully linked constraint graph
+        assert len(res.answers) > 0
+
+    def test_three_way_split(self, figure1):
+        q = "f(sam, A), f(curt, B), f(dan, C)"
+        res = AndParallelExecutor(figure1).run(q)
+        assert res.parallel_width == 3
+        assert len(res.answers) == 1
+
+
+class TestJoins:
+    L = [("sam", "larry"), ("curt", "elain"), ("dan", "pat")]
+    R = [("larry", "den"), ("larry", "doug"), ("pat", "john"), ("zed", "x")]
+
+    def test_nested_loop_correct(self):
+        out, stats = nested_loop_join(self.L, self.R, 1, 0)
+        assert len(out) == 3
+        assert stats.comparisons == len(self.L) * len(self.R)
+
+    def test_hash_join_same_result(self):
+        nl, _ = nested_loop_join(self.L, self.R, 1, 0)
+        hj, stats = hash_join(self.L, self.R, 1, 0)
+        assert sorted(nl) == sorted(hj)
+        assert stats.comparisons == len(self.L) + len(self.R)
+
+    def test_semi_join_reduces_right(self):
+        reduced, stats = semi_join_reduce(self.L, self.R, 1, 0)
+        assert len(reduced) == 3  # ("zed","x") filtered out
+        assert stats.marks == 3  # three distinct left keys
+        assert stats.reduced_right == 3
+
+    def test_semi_join_full_result_matches(self):
+        nl, _ = nested_loop_join(self.L, self.R, 1, 0)
+        sj, _ = semi_join(self.L, self.R, 1, 0)
+        assert sorted(nl) == sorted(sj)
+
+    def test_semi_join_wins_on_selective_joins(self):
+        """With few matching keys and a big right relation, semi-join
+        does far less work than nested loop (the §7 SPD claim)."""
+        left = [("k", i) for i in range(3)]
+        right = [(f"r{i}", i) for i in range(1000)] + [("k", 999)]
+        _, nl = nested_loop_join(left, right, 0, 0)
+        _, sj = semi_join(left, right, 0, 0)
+        work_nl = nl.comparisons
+        work_sj = sj.comparisons + sj.marks
+        assert work_sj < work_nl / 10
+
+    def test_empty_relations(self):
+        out, stats = semi_join([], self.R, 0, 0)
+        assert out == []
+        assert stats.reduced_right == 0
+        out2, _ = nested_loop_join(self.L, [], 1, 0)
+        assert out2 == []
+
+
+class TestJoinPlanOnFamily:
+    def test_grandfather_as_join(self, figure1):
+        """gf(sam,G) computed relationally: f(sam,Y) ⋈ f(Y,G) union
+        f(sam,Y) ⋈ m(Y,G) equals the engine's answers."""
+        solver = Solver(figure1)
+        f_rows = [
+            (str(s["A"]), str(s["B"])) for s in solver.solve_all("f(A, B)")
+        ]
+        m_rows = [
+            (str(s["A"]), str(s["B"])) for s in solver.solve_all("m(A, B)")
+        ]
+        sam_rows = [r for r in f_rows if r[0] == "sam"]
+        ff, _ = semi_join(sam_rows, f_rows, 1, 0)
+        fm, _ = semi_join(sam_rows, m_rows, 1, 0)
+        grandkids = sorted({r[1] for _, r in ff} | {r[1] for _, r in fm})
+        assert grandkids == ["den", "doug"]

@@ -1,0 +1,140 @@
+"""Tests for Conditional Graph Expressions (restricted AND-parallelism)."""
+
+import pytest
+
+from repro.andpar.cge import (
+    CgeExecutor,
+    Goal,
+    IfGround,
+    Par,
+    Seq,
+    compile_clause,
+)
+from repro.logic import Bindings, Program, Solver, parse_clause, parse_query, unify
+from repro.logic.solver import _rename_clause
+from repro.logic.terms import term_vars
+
+
+class TestCompilation:
+    def test_fact_empty_plan(self):
+        plan = compile_clause(parse_clause("f(a)."))
+        assert plan == Seq(())
+
+    def test_single_goal(self):
+        plan = compile_clause(parse_clause("p(X) :- q(X)."))
+        assert plan == Goal(0)
+
+    def test_linked_body_sequential(self):
+        # Y links both goals and is NOT a head variable: always sequential
+        plan = compile_clause(parse_clause("p(X) :- q(X, Y), r(Y)."))
+        assert isinstance(plan, (Seq, IfGround))
+        if isinstance(plan, IfGround):
+            pytest.fail("local links must not be guarded away")
+
+    def test_head_var_crossing_emits_guard(self):
+        # X crosses both goals but is a head variable: parallel iff X ground
+        plan = compile_clause(parse_clause("p(X) :- q(X), r(X)."))
+        assert isinstance(plan, IfGround)
+        assert isinstance(plan.then, Par)
+        assert isinstance(plan.otherwise, Seq)
+
+    def test_fully_independent_unconditional_par(self):
+        plan = compile_clause(parse_clause("p :- q(A), r(B)."))
+        assert isinstance(plan, Par)
+
+    def test_mixed_groups(self):
+        plan = compile_clause(parse_clause("p(X) :- a(X, M), b(M), c(Z)."))
+        # {a,b} linked by local M; {c} separate; no head var crosses groups
+        assert isinstance(plan, Par)
+        assert len(plan.parts) == 2
+
+    def test_render_readable(self):
+        plan = compile_clause(parse_clause("p(X) :- q(X), r(X)."))
+        text = plan.render()
+        assert "->" in text and "&" in text and "indep" in text
+
+
+class TestExecution:
+    @pytest.fixture
+    def program(self):
+        return Program.from_source(
+            """
+            q(1). q(2).
+            r(1). r(3).
+            s(a). s(b).
+            """
+        )
+
+    def _body_instance(self, clause_src, call_src, program):
+        """Resolve a call against the clause head; return instantiated body."""
+        clause = parse_clause(clause_src)
+        head, body = _rename_clause(clause)
+        (call,) = parse_query(call_src)
+        b = Bindings()
+        assert unify(call, head, b)
+        return tuple(b.resolve(g) for g in body)
+
+    def test_guard_true_runs_parallel(self, program):
+        plan = compile_clause(parse_clause("p(X) :- q(X), r(X)."))
+        goals = self._body_instance("p(X) :- q(X), r(X).", "p(1)", program)
+        run = CgeExecutor(program).run(goals, plan)
+        assert run.guards_evaluated == 1
+        assert run.guards_true == 1
+        assert run.ran_parallel
+        assert len(run.answers) == 1  # q(1), r(1) both hold
+
+    def test_guard_false_runs_sequential(self, program):
+        plan = compile_clause(parse_clause("p(X) :- q(X), r(X)."))
+        goals = self._body_instance("p(X) :- q(X), r(X).", "p(W)", program)
+        run = CgeExecutor(program).run(goals, plan)
+        assert run.guards_true == 0
+        assert not run.ran_parallel
+        # sequential answers: q and r intersect at 1
+        assert len(run.answers) == 1
+
+    def test_parallel_answers_match_sequential(self, program):
+        plan = compile_clause(parse_clause("p :- q(A), s(B)."))
+        goals = self._body_instance("p :- q(A), s(B).", "p", program)
+        run = CgeExecutor(program).run(goals, plan)
+        assert run.ran_parallel
+        assert len(run.answers) == 4  # 2 q's x 2 s's
+        # against the sequential engine
+        seq = Solver(program).solve_all("q(A), s(B)")
+        assert len(seq) == 4
+
+    def test_speedup_accounting(self, program):
+        plan = compile_clause(parse_clause("p :- q(A), s(B)."))
+        goals = self._body_instance("p :- q(A), s(B).", "p", program)
+        run = CgeExecutor(program).run(goals, plan)
+        assert run.critical_path_inferences <= run.sequential_inferences
+        assert run.speedup >= 1.0
+
+    def test_empty_group_product(self, program):
+        plan = compile_clause(parse_clause("p :- q(A), missing(B)."))
+        goals = self._body_instance("p :- q(A), missing(B).", "p", program)
+        run = CgeExecutor(program).run(goals, plan)
+        assert run.answers == []
+
+
+class TestWholeProgramConsistency:
+    def test_cge_answers_equal_prolog_on_calls(self):
+        program = Program.from_source(
+            """
+            edge(a, b). edge(b, c). edge(a, d).
+            color(red). color(blue).
+            pair(X, Y, C1, C2) :- edge(X, Y), color(C1), color(C2).
+            """
+        )
+        clause = parse_clause(
+            "pair(X, Y, C1, C2) :- edge(X, Y), color(C1), color(C2)."
+        )
+        plan = compile_clause(clause)
+        # ground head args at call time -> guard passes where emitted
+        head, body = _rename_clause(clause)
+        (call,) = parse_query("pair(a, b, C1, C2)")
+        b = Bindings()
+        assert unify(call, head, b)
+        goals = tuple(b.resolve(g) for g in body)
+        run = CgeExecutor(program).run(goals, plan)
+        expected = Solver(program).solve_all("edge(a, b), color(C1), color(C2)")
+        assert len(run.answers) == len(expected) == 4

@@ -1,0 +1,179 @@
+"""Unit tests for builtin predicates."""
+
+import pytest
+
+from repro.logic import (
+    Atom,
+    Bindings,
+    BuiltinError,
+    Int,
+    Struct,
+    Var,
+    call_builtin,
+    eval_arith,
+    is_builtin,
+    parse_term,
+    unify,
+)
+
+
+def run(goal_src: str, bindings=None):
+    b = bindings if bindings is not None else Bindings()
+    goal = parse_term(goal_src)
+    return list(call_builtin(goal, b)), b, goal
+
+
+class TestArith:
+    def test_basic_ops(self):
+        b = Bindings()
+        assert eval_arith(parse_term("2 + 3 * 4"), b) == 14
+        assert eval_arith(parse_term("10 - 3 - 2"), b) == 5
+        assert eval_arith(parse_term("7 // 2"), b) == 3
+        assert eval_arith(parse_term("7 mod 2"), b) == 1
+
+    def test_min_max_abs(self):
+        b = Bindings()
+        assert eval_arith(parse_term("min(3, 5)"), b) == 3
+        assert eval_arith(parse_term("max(3, 5)"), b) == 5
+        assert eval_arith(parse_term("abs(-4)"), b) == 4
+
+    def test_through_bindings(self):
+        b = Bindings()
+        x = Var("X")
+        unify(x, Int(6), b)
+        assert eval_arith(Struct("+", (x, Int(1))), b) == 7
+
+    def test_unbound_raises(self):
+        with pytest.raises(BuiltinError):
+            eval_arith(Var("X"), Bindings())
+
+    def test_division_by_zero(self):
+        with pytest.raises(BuiltinError):
+            eval_arith(parse_term("1 // 0"), Bindings())
+
+    def test_mod_by_zero(self):
+        with pytest.raises(BuiltinError):
+            eval_arith(parse_term("1 mod 0"), Bindings())
+
+    def test_unknown_functor(self):
+        with pytest.raises(BuiltinError):
+            eval_arith(parse_term("foo(1, 2)"), Bindings())
+
+
+class TestControl:
+    def test_true_succeeds_once(self):
+        sols, _, _ = run("true")
+        assert len(sols) == 1
+
+    def test_fail_never(self):
+        sols, _, _ = run("fail")
+        assert sols == []
+
+    def test_is_builtin_detection(self):
+        assert is_builtin(parse_term("true"))
+        assert is_builtin(parse_term("X is 1"))
+        assert not is_builtin(parse_term("gf(sam, G)"))
+
+
+class TestUnifyBuiltins:
+    def test_eq_binds(self):
+        sols, b, goal = run("X = f(a)")
+        assert len(sols) == 1
+        assert str(b.resolve(goal.args[0])) == "f(a)"
+
+    def test_eq_fails(self):
+        sols, _, _ = run("a = b")
+        assert sols == []
+
+    def test_neq(self):
+        assert run("a \\= b")[0]
+        assert run("a \\= a")[0] == []
+
+    def test_neq_leaves_no_bindings(self):
+        sols, b, _ = run("X \\= a")
+        assert sols == []  # X unifies with a, so \= fails
+        assert len(b) == 0
+
+    def test_struct_identity(self):
+        assert run("f(a) == f(a)")[0]
+        assert run("f(a) == f(b)")[0] == []
+        assert run("X == Y")[0] == []
+
+    def test_struct_identity_same_var(self):
+        b = Bindings()
+        x = Var("X")
+        goal = Struct("==", (x, x))
+        assert list(call_builtin(goal, b))
+
+    def test_struct_nonidentity(self):
+        assert run("f(a) \\== f(b)")[0]
+
+
+class TestIs:
+    def test_binds_result(self):
+        sols, b, goal = run("X is 2 + 3")
+        assert len(sols) == 1
+        assert b.resolve(goal.args[0]) == Int(5)
+
+    def test_checks_when_bound(self):
+        assert run("5 is 2 + 3")[0]
+        assert run("6 is 2 + 3")[0] == []
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "src,ok",
+        [
+            ("1 < 2", True),
+            ("2 < 1", False),
+            ("2 > 1", True),
+            ("1 =< 1", True),
+            ("2 =< 1", False),
+            ("1 >= 1", True),
+            ("1 =:= 1", True),
+            ("1 =:= 2", False),
+            ("1 =\\= 2", True),
+            ("1 =\\= 1", False),
+        ],
+    )
+    def test_ops(self, src, ok):
+        sols, _, _ = run(src)
+        assert bool(sols) == ok
+
+
+class TestTypeTests:
+    def test_var_nonvar(self):
+        assert run("var(X)")[0]
+        assert run("nonvar(a)")[0]
+        assert run("var(a)")[0] == []
+        assert run("nonvar(X)")[0] == []
+
+    def test_atom_integer(self):
+        assert run("atom(a)")[0]
+        assert run("atom(1)")[0] == []
+        assert run("integer(1)")[0]
+        assert run("integer(a)")[0] == []
+
+    def test_type_test_respects_bindings(self):
+        b = Bindings()
+        x = Var("X")
+        unify(x, Atom("bound"), b)
+        goal = Struct("nonvar", (x,))
+        assert list(call_builtin(goal, b))
+
+
+class TestBetween:
+    def test_enumerates(self):
+        b = Bindings()
+        goal = parse_term("between(1, 4, X)")
+        values = []
+        for _ in call_builtin(goal, b):
+            values.append(b.resolve(goal.args[2]).value)
+        assert values == [1, 2, 3, 4]
+
+    def test_checks_bound_value(self):
+        assert run("between(1, 4, 3)")[0]
+        assert run("between(1, 4, 9)")[0] == []
+
+    def test_empty_range(self):
+        assert run("between(3, 2, X)")[0] == []

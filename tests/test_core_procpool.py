@@ -1,0 +1,50 @@
+"""Unit tests for the OS-process OR-parallel backend."""
+
+import pytest
+
+from repro.core import or_parallel_solve, or_split
+from repro.logic import Solver
+from repro.workloads import synthetic_tree
+
+
+class TestOrSplit:
+    def test_figure1_splits_into_two_rules(self, figure1):
+        branches = or_split(figure1, "gf(sam, G)")
+        assert len(branches) == 2
+
+
+class TestOrParallelSolve:
+    def test_answers_match_sequential(self, figure1):
+        seq = {str(s["G"]) for s in Solver(figure1).solve_all("gf(sam, G)")}
+        par = or_parallel_solve(figure1, "gf(sam, G)", processes=2)
+        assert {a["G"] for a in par.answers} == seq
+        assert par.branches == 2
+
+    def test_single_process_fallback(self, figure1):
+        par = or_parallel_solve(figure1, "gf(sam, G)", processes=1)
+        assert sorted(a["G"] for a in par.answers) == ["den", "doug"]
+
+    def test_failed_query(self, figure1):
+        par = or_parallel_solve(figure1, "gf(john, G)", processes=2)
+        assert par.answers == []
+
+    def test_immediate_solutions_handled(self, figure1):
+        """Fact-resolved branches are solutions before any worker runs."""
+        par = or_parallel_solve(figure1, "f(sam, Y)", processes=2)
+        assert [a["Y"] for a in par.answers] == ["larry"]
+
+    def test_synthetic_tree_counts(self):
+        wl = synthetic_tree(branching=3, depth=3, dead_fraction=0.34, seed=21)
+        par = or_parallel_solve(wl.program, wl.query, processes=3)
+        assert len(par.answers) == wl.n_solutions
+
+    def test_per_branch_accounting(self, figure1):
+        par = or_parallel_solve(figure1, "gf(sam, G)", processes=2)
+        assert sum(par.per_branch_solutions) == len(par.answers)
+
+    def test_max_solutions_per_branch(self):
+        wl = synthetic_tree(branching=2, depth=3, seed=22)
+        par = or_parallel_solve(
+            wl.program, wl.query, processes=2, max_solutions_per_branch=1
+        )
+        assert all(n <= 1 for n in par.per_branch_solutions)

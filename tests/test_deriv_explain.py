@@ -1,0 +1,93 @@
+"""Tests for the deriv workload, chain explanations, and CSV export."""
+
+import pytest
+
+from repro.ortree import OrTree, best_first
+from repro.reporting import to_csv
+from repro.workloads import family_program
+from repro.workloads.deriv import deriv_program, differentiate, nested_expr
+
+
+class TestDeriv:
+    def test_dx_dx(self):
+        assert str(differentiate("x")) == "1"
+
+    def test_constant(self):
+        assert str(differentiate("num(5)")) == "num(0)"
+
+    def test_sum_rule(self):
+        assert str(differentiate("plus(x, num(3))")) == "plus(1, num(0))"
+
+    def test_product_rule(self):
+        got = str(differentiate("times(x, x)"))
+        assert got == "plus(times(x, 1), times(1, x))"
+
+    def test_power_rule(self):
+        assert str(differentiate("power(x, 5)")) == "times(num(5), power(x, 4))"
+
+    def test_nested_expression_grows(self):
+        from repro.logic import term_size
+
+        shallow = differentiate(nested_expr(2))
+        deep = differentiate(nested_expr(5))
+        assert term_size(deep) > term_size(shallow)
+
+    def test_unknown_form_fails(self):
+        with pytest.raises(ValueError):
+            differentiate("mystery(x)")
+
+    def test_single_solution(self):
+        from repro.logic import Solver
+
+        solver = Solver(deriv_program(), max_depth=128)
+        sols = solver.solve_all(f"d({nested_expr(3)}, D)")
+        assert len(sols) == 1
+
+
+class TestExplainChain:
+    def test_solution_explanation(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        res = best_first(tree)
+        sol = res.solutions[0]
+        lines = tree.explain_chain(sol.nid)
+        assert lines[-1] == "=> solution"
+        assert any("gf(sam, G)" in l for l in lines)
+        assert any("f(sam, Y)" in l for l in lines)
+        assert all("weight" in l for l in lines[:-1])
+
+    def test_failure_explanation(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        tree.expand_all()
+        (fail,) = tree.failures()
+        lines = tree.explain_chain(fail.nid)
+        assert lines[-1].startswith("=> failure at m(larry")
+
+    def test_builtin_steps_labeled(self):
+        from repro.logic import Program
+
+        p = Program.from_source("double(X, Y) :- Y is X * 2.")
+        tree = OrTree(p, "double(3, R)")
+        tree.expand_all()
+        sol = tree.solutions()[0]
+        lines = tree.explain_chain(sol.nid)
+        assert any("builtin is/2" in l for l in lines)
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        text = to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_empty(self):
+        assert to_csv([]) == ""
+
+    def test_column_subset_and_missing(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = to_csv(rows, columns=["b"])
+        lines = [l.strip() for l in text.strip().splitlines()]
+        assert lines[0] == "b"
+        assert lines[1] == "2"
+        assert lines[2] in ("", '""')  # missing cell renders empty

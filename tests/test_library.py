@@ -1,0 +1,117 @@
+"""Tests for the pure-Prolog standard library."""
+
+import pytest
+
+from repro.logic import Program, Solver
+from repro.logic.library import with_library
+
+
+@pytest.fixture
+def solver():
+    return Solver(with_library(Program()), max_depth=128)
+
+
+def one(solver, query, var):
+    sols = solver.solve_all(query, max_solutions=1)
+    assert sols, f"no solution for {query}"
+    return str(sols[0][var])
+
+
+def all_values(solver, query, var):
+    return [str(s[var]) for s in solver.solve_all(query)]
+
+
+class TestAppendMember:
+    def test_append(self, solver):
+        assert one(solver, "append([1,2], [3,4], R)", "R") == "[1, 2, 3, 4]"
+
+    def test_append_splits(self, solver):
+        sols = solver.solve_all("append(A, B, [1,2])")
+        assert len(sols) == 3
+
+    def test_member_enumerates(self, solver):
+        assert all_values(solver, "member(X, [a,b,c])", "X") == ["a", "b", "c"]
+
+    def test_member_checks(self, solver):
+        assert solver.succeeds("member(b, [a,b,c])")
+        assert not solver.succeeds("member(z, [a,b,c])")
+
+
+class TestLengthReverse:
+    def test_length(self, solver):
+        assert one(solver, "length([a,b,c,d], N)", "N") == "4"
+
+    def test_length_empty(self, solver):
+        assert one(solver, "length([], N)", "N") == "0"
+
+    def test_reverse(self, solver):
+        assert one(solver, "reverse([1,2,3], R)", "R") == "[3, 2, 1]"
+
+    def test_reverse_empty(self, solver):
+        assert one(solver, "reverse([], R)", "R") == "[]"
+
+
+class TestIndexing:
+    def test_nth0(self, solver):
+        assert one(solver, "nth0(2, [a,b,c,d], X)", "X") == "c"
+
+    def test_nth1(self, solver):
+        assert one(solver, "nth1(1, [a,b,c], X)", "X") == "a"
+
+    def test_nth0_out_of_range(self, solver):
+        assert not solver.succeeds("nth0(9, [a,b], X)")
+
+    def test_last(self, solver):
+        assert one(solver, "last([a,b,c], X)", "X") == "c"
+
+
+class TestSelectPermutation:
+    def test_select_removes(self, solver):
+        assert all_values(solver, "select(b, [a,b,c], R)", "R") == ["[a, c]"]
+
+    def test_select_enumerates(self, solver):
+        sols = solver.solve_all("select(X, [a,b], R)")
+        assert len(sols) == 2
+
+    def test_permutation_count(self, solver):
+        assert len(solver.solve_all("permutation([1,2,3], P)")) == 6
+
+    def test_permutation_check(self, solver):
+        assert solver.succeeds("permutation([1,2,3], [3,1,2])")
+        assert not solver.succeeds("permutation([1,2,3], [1,2])")
+
+    def test_delete_all(self, solver):
+        assert one(solver, "delete_all([a,b,a,c,a], a, R)", "R") == "[b, c]"
+
+
+class TestArithmeticLists:
+    def test_sum_list(self, solver):
+        assert one(solver, "sum_list([1,2,3,4], S)", "S") == "10"
+
+    def test_max_min(self, solver):
+        assert one(solver, "max_list([3,9,2], M)", "M") == "9"
+        assert one(solver, "min_list([3,9,2], M)", "M") == "2"
+
+    def test_numlist(self, solver):
+        assert one(solver, "numlist(1, 5, L)", "L") == "[1, 2, 3, 4, 5]"
+
+    def test_numlist_empty(self, solver):
+        assert one(solver, "numlist(3, 2, L)", "L") == "[]"
+
+
+class TestComposition:
+    def test_user_program_plus_library(self):
+        p = Program.from_source("scores(alice, [3, 9, 5]).\nscores(bob, [7, 2]).")
+        with_library(p)
+        solver = Solver(p, max_depth=128)
+        sols = solver.solve_all("scores(Who, L), max_list(L, Best)")
+        got = {(str(s["Who"]), str(s["Best"])) for s in sols}
+        assert got == {("alice", "9"), ("bob", "7")}
+
+    def test_library_on_blog_engine(self):
+        from repro.core import BLogConfig, BLogEngine
+
+        p = with_library(Program())
+        eng = BLogEngine(p, BLogConfig(max_depth=128))
+        res = eng.query("permutation([1,2], P)")
+        assert sorted(str(a["P"]) for a in res.answers) == ["[1, 2]", "[2, 1]"]

@@ -1,0 +1,77 @@
+"""Tests for the Omega/banyan network model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.banyan import BanyanNetwork, crossbar_cost, omega_route
+
+
+class TestRouting:
+    def test_path_length_is_log_n(self):
+        assert len(omega_route(8, 0, 5)) == 3
+        assert len(omega_route(16, 3, 12)) == 4
+
+    def test_route_ends_at_destination(self):
+        for n in (2, 4, 8, 16):
+            for src in range(n):
+                for dst in range(n):
+                    path = omega_route(n, src, dst)
+                    assert path[-1][1] == dst
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            omega_route(6, 0, 1)
+
+    @given(st.sampled_from([4, 8, 16]), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_unique_path_property(self, n, data):
+        """A banyan has exactly one path per (src, dst): routing twice
+        gives the same hops."""
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        assert omega_route(n, src, dst) == omega_route(n, src, dst)
+
+
+class TestNetwork:
+    def test_switch_count_formula(self):
+        assert BanyanNetwork(8).switch_count == 12  # 4 * 3
+        assert BanyanNetwork(64).switch_count == 192  # 32 * 6
+
+    def test_linear_vs_crossbar_cost(self):
+        for n in (8, 16, 64):
+            assert BanyanNetwork(n).switch_count < crossbar_cost(n)["switches"]
+
+    def test_identity_permutation_one_pass(self):
+        net = BanyanNetwork(8)
+        assert net.route_permutation(list(range(8))) == 1
+        assert net.stats.conflicts == 0
+
+    def test_all_to_one_needs_many_passes(self):
+        """n packets to one output serialize completely."""
+        net = BanyanNetwork(8)
+        passes = net.route_permutation([3] * 8)
+        assert passes == 8
+
+    def test_permutation_routes_everyone(self):
+        net = BanyanNetwork(16)
+        import numpy as np
+
+        perm = list(np.random.default_rng(1).permutation(16))
+        passes = net.route_permutation(perm)
+        assert net.stats.packets == 16
+        assert passes >= 1
+
+    def test_wrong_dest_count(self):
+        with pytest.raises(ValueError):
+            BanyanNetwork(4).route_permutation([0, 1])
+
+    def test_monte_carlo_blocking(self):
+        stats = BanyanNetwork(16).blocking_monte_carlo(trials=30, seed=2)
+        # random permutations block sometimes but never catastrophically
+        assert 1.0 <= stats["mean_passes"] <= 6.0
+        assert stats["switches"] == 32
+
+    def test_blocking_grows_with_size(self):
+        small = BanyanNetwork(4).blocking_monte_carlo(trials=40, seed=3)
+        big = BanyanNetwork(32).blocking_monte_carlo(trials=40, seed=3)
+        assert big["mean_passes"] >= small["mean_passes"]

@@ -1,0 +1,103 @@
+"""Tests for the production-rule interpreter (§6)."""
+
+import pytest
+
+from repro.machine import Scoreboard
+from repro.machine.interpreter import (
+    InterpreterReport,
+    compile_expansion,
+    simulate_query,
+)
+from repro.ortree import OrTree
+from repro.workloads import family_program, synthetic_tree
+
+
+class TestCompileExpansion:
+    def test_root_expansion_shape(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        ops = compile_expansion(tree, 0)
+        kinds = [op.kind for op in ops]
+        # 2 gf candidates, both unify, both spawn children
+        assert kinds.count("search") == 1
+        assert kinds.count("unify") == 2
+        assert kinds.count("copy") == 2
+        assert kinds[-1] == "select"
+
+    def test_failed_unifications_skip_copy(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        tree.expand(0)
+        # child 1: resolvent f(sam,Y), f(Y,Z); f(sam,Y) indexes to one fact
+        ops = compile_expansion(tree, 1)
+        kinds = [op.kind for op in ops]
+        assert kinds.count("unify") == 1  # first-arg indexing filters
+        assert kinds.count("copy") == 1
+
+    def test_no_candidates_still_searches(self, figure1):
+        tree = OrTree(figure1, "nosuch(a)")
+        ops = compile_expansion(tree, 0)
+        kinds = [op.kind for op in ops]
+        assert kinds == ["search", "select"]
+
+    def test_does_not_mutate_tree(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        compile_expansion(tree, 0)
+        assert tree.expansions == 0
+        assert len(tree.nodes) == 1
+
+    def test_latency_scales_with_head_size(self):
+        from repro.logic import Program
+
+        p = Program.from_source(
+            "tiny(a).\nbig(f(g(h(a, b, c), d), e, k(m, n, o))).\n"
+        )
+        t1 = OrTree(p, "tiny(X)")
+        t2 = OrTree(p, "big(X)")
+        u1 = [op for op in compile_expansion(t1, 0) if op.kind == "unify"][0]
+        u2 = [op for op in compile_expansion(t2, 0) if op.kind == "unify"][0]
+        assert u2.latency > u1.latency
+
+    def test_programs_runnable_on_scoreboard(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        sb = Scoreboard()
+        stats = sb.run(compile_expansion(tree, 0))
+        assert stats.cycles > 0
+        assert stats.issued == 6
+
+
+class TestSimulateQuery:
+    def test_whole_query(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        report = simulate_query(tree)
+        assert report.answers == 2
+        assert report.expansions == 5
+        assert report.total_cycles > 0
+        assert report.ops_issued > 0
+
+    def test_max_solutions_stops(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        report = simulate_query(tree, max_solutions=1)
+        assert report.answers == 1
+
+    def test_utilization_bounds(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        sb = Scoreboard()
+        report = simulate_query(tree, scoreboard=sb)
+        for kind, u in report.utilization(sb.unit_counts).items():
+            assert 0.0 <= u <= 1.0
+
+    def test_more_unify_units_fewer_cycles(self):
+        wl = synthetic_tree(branching=6, depth=2, seed=90)
+
+        def cycles(n_units):
+            sb = Scoreboard(
+                unit_counts={"search": 1, "unify": n_units, "copy": n_units, "select": 1}
+            )
+            tree = OrTree(wl.program, wl.query, max_depth=16)
+            return simulate_query(tree, scoreboard=sb).total_cycles
+
+        assert cycles(4) < cycles(1)
+
+    def test_expansion_budget(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        report = simulate_query(tree, max_expansions=2)
+        assert report.expansions <= 2

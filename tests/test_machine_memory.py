@@ -1,0 +1,106 @@
+"""Unit tests for conventional vs multiply-write memory (§6)."""
+
+import pytest
+
+from repro.machine import ConventionalRAM, MultiWriteRAM
+
+
+class TestConventional:
+    def test_read_write(self):
+        ram = ConventionalRAM(64)
+        ram.write(3, 99)
+        assert ram.read(3) == 99
+
+    def test_block_ops(self):
+        ram = ConventionalRAM(64)
+        ram.load_block(10, [1, 2, 3])
+        assert ram.read_block(10, 3) == [1, 2, 3]
+
+    def test_multi_copy_correct(self):
+        ram = ConventionalRAM(64)
+        ram.load_block(0, [7, 8, 9])
+        cost = ram.multi_copy(0, [10, 20, 30], 3)
+        for d in (10, 20, 30):
+            assert ram.read_block(d, 3) == [7, 8, 9]
+        assert cost.writes == 9  # 3 copies x 3 words
+
+    def test_cost_scales_with_copies(self):
+        c2 = ConventionalRAM.copy_cost(16, 2)
+        c8 = ConventionalRAM.copy_cost(16, 8)
+        assert c8.cycles > c2.cycles
+        assert c8.writes == 16 * 8
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            ConventionalRAM(0)
+
+
+class TestMultiWrite:
+    def test_multi_copy_bit_exact(self):
+        ram = MultiWriteRAM(128)
+        data = [5, 6, 7, 8]
+        ram.load_block(0, data)
+        ram.multi_copy(0, [16, 32, 64], 4)
+        for d in (16, 32, 64):
+            assert ram.read_block(d, 4) == data
+
+    def test_single_destination(self):
+        ram = MultiWriteRAM(32)
+        ram.load_block(0, [1, 2])
+        ram.multi_copy(0, [10], 2)
+        assert ram.read_block(10, 2) == [1, 2]
+
+    def test_cost_one_write_pass_regardless_of_copies(self):
+        """The §6 claim: k copies of w words cost w writes + k setups,
+        not k*w writes."""
+        cost = MultiWriteRAM.copy_cost(16, 8)
+        assert cost.writes == 16
+        assert cost.setup == 8
+        conventional = ConventionalRAM.copy_cost(16, 8)
+        assert cost.cycles < conventional.cycles
+
+    def test_crossover_small_copies(self):
+        """For a single copy the mechanisms are nearly equal."""
+        mw = MultiWriteRAM.copy_cost(16, 1)
+        cv = ConventionalRAM.copy_cost(16, 1)
+        assert mw.cycles == cv.cycles + 1  # one setup bit
+
+    def test_shift_register_semantics(self):
+        ram = MultiWriteRAM(16)
+        ram.set_copy_bits([2, 5])
+        fan = ram.multi_write(42)
+        assert fan == 2
+        assert ram.words[2] == 42 and ram.words[5] == 42
+        ram.shift_down()
+        ram.multi_write(43)
+        assert ram.words[3] == 43 and ram.words[6] == 43
+
+    def test_clear_bits(self):
+        ram = MultiWriteRAM(16)
+        ram.set_copy_bits([1])
+        ram.clear_bits()
+        assert ram.multi_write(9) == 0
+
+    def test_out_of_range_destination(self):
+        ram = MultiWriteRAM(16)
+        ram.load_block(0, [1, 2, 3, 4])
+        with pytest.raises(IndexError):
+            ram.multi_copy(0, [14], 4)
+
+    def test_multi_write_ops_counted(self):
+        ram = MultiWriteRAM(64)
+        ram.load_block(0, [1, 2, 3])
+        ram.multi_copy(0, [10, 20], 3)
+        assert ram.multi_write_ops == 3  # one per word
+
+
+class TestSpeedupRatio:
+    @pytest.mark.parametrize("copies", [2, 4, 8, 16])
+    def test_ratio_grows_with_fanout(self, copies):
+        """Cycle ratio approaches `copies` for large blocks — the
+        multitasking chain-sprouting payoff of §6."""
+        words = 256
+        cv = ConventionalRAM.copy_cost(words, copies).cycles
+        mw = MultiWriteRAM.copy_cost(words, copies).cycles
+        ratio = cv / mw
+        assert ratio > copies * 0.45

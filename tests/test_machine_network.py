@@ -1,0 +1,132 @@
+"""Unit tests for the minimum-seeking network and interconnect (§6)."""
+
+import math
+
+import pytest
+
+from repro.machine import Interconnect, MinSeekingNetwork
+
+INF = float("inf")
+
+
+class TestMinSeeking:
+    def test_global_min_tracks_published(self):
+        net = MinSeekingNetwork(4)
+        net.publish(0, 10.0)
+        net.publish(2, 3.0)
+        best, owner = net.global_min()
+        assert (best, owner) == (3.0, 2)
+
+    def test_all_idle(self):
+        net = MinSeekingNetwork(4)
+        best, owner = net.global_min()
+        assert best == INF and owner is None
+
+    def test_query_latency_log2(self):
+        assert MinSeekingNetwork(1).query_latency == 1
+        assert MinSeekingNetwork(8).query_latency == 3
+        assert MinSeekingNetwork(9).query_latency == 4
+
+    def test_publish_overwrites(self):
+        net = MinSeekingNetwork(2)
+        net.publish(0, 5.0)
+        net.publish(0, 9.0)
+        assert net.global_min() == (9.0, 0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MinSeekingNetwork(0)
+
+
+class TestMigrationRule:
+    """The §6 D-threshold: migrate iff global min < local min - D."""
+
+    def test_migrates_when_gap_exceeds_d(self):
+        net = MinSeekingNetwork(2)
+        net.publish(1, 2.0)
+        migrate, owner = net.should_migrate(local_min=10.0, d=4.0)
+        assert migrate and owner == 1
+
+    def test_stays_local_when_gap_small(self):
+        net = MinSeekingNetwork(2)
+        net.publish(1, 7.0)
+        migrate, _ = net.should_migrate(local_min=10.0, d=4.0)
+        assert not migrate
+
+    def test_boundary_is_strict(self):
+        net = MinSeekingNetwork(2)
+        net.publish(1, 6.0)
+        migrate, _ = net.should_migrate(local_min=10.0, d=4.0)
+        assert not migrate  # 6 is not < 10 - 4
+
+    def test_idle_processor_always_migrates(self):
+        net = MinSeekingNetwork(2)
+        net.publish(1, 1e9)
+        migrate, owner = net.should_migrate(local_min=INF, d=1e12)
+        assert migrate and owner == 1
+
+    def test_no_work_anywhere(self):
+        net = MinSeekingNetwork(2)
+        migrate, owner = net.should_migrate(local_min=INF, d=0.0)
+        assert not migrate and owner is None
+
+    def test_d_zero_greedy(self):
+        net = MinSeekingNetwork(2)
+        net.publish(1, 9.9)
+        migrate, _ = net.should_migrate(local_min=10.0, d=0.0)
+        assert migrate
+
+    def test_stats_counted(self):
+        net = MinSeekingNetwork(2)
+        net.publish(1, 1.0)
+        net.should_migrate(10.0, 0.0)
+        net.should_migrate(1.0, 0.0)
+        assert net.stats.migrations_accepted == 1
+        assert net.stats.migrations_declined == 1
+
+
+class TestArbitration:
+    def test_lowest_index_wins(self):
+        net = MinSeekingNetwork(4)
+        assert net.arbitrate([3, 1, 2]) == 1
+
+    def test_empty_requesters(self):
+        net = MinSeekingNetwork(4)
+        assert net.arbitrate([]) is None
+
+    def test_grants_counted(self):
+        net = MinSeekingNetwork(4)
+        net.arbitrate([0])
+        net.arbitrate([1, 2])
+        assert net.stats.grants == 2
+        assert net.stats.arbitrations == 2
+
+
+class TestInterconnect:
+    def test_transfer_cost_formula(self):
+        ic = Interconnect(packet_setup=8.0, words_per_cycle=2.0)
+        assert ic.transfer_cost(10) == 8.0 + 5.0
+
+    def test_transfer_accounts_traffic(self):
+        ic = Interconnect()
+        ic.transfer(10)
+        ic.transfer(20)
+        assert ic.stats.transfers == 2
+        assert ic.stats.words_moved == 30
+        assert ic.stats.transfer_cycles == pytest.approx(
+            ic.transfer_cost(10) + ic.transfer_cost(20)
+        )
+
+    def test_setup_dominates_small_transfers(self):
+        """Packet setup amortizes over words — the reason D exists."""
+        ic = Interconnect(packet_setup=100.0, words_per_cycle=10.0)
+        small = ic.transfer_cost(1)
+        big = ic.transfer_cost(1000)
+        assert small > 100.0
+        assert big / 1000 < small / 1
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Interconnect(packet_setup=-1)
+        with pytest.raises(ValueError):
+            Interconnect(words_per_cycle=0)

@@ -1,0 +1,101 @@
+"""Property tests: the simulated machine always terminates and agrees
+with the sequential baseline on random configurations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Solver
+from repro.machine import BLogMachine, MachineConfig
+from repro.ortree import OrTree
+from repro.workloads import synthetic_tree
+
+
+@st.composite
+def machine_cases(draw):
+    wl = synthetic_tree(
+        branching=draw(st.integers(2, 3)),
+        depth=draw(st.integers(2, 3)),
+        dead_fraction=draw(st.sampled_from([0.0, 0.34])),
+        seed=draw(st.integers(0, 8)),
+    )
+    cfg = MachineConfig(
+        n_processors=draw(st.integers(1, 6)),
+        tasks_per_processor=draw(st.integers(1, 3)),
+        d=draw(st.sampled_from([0.0, 1.0, 4.0, 1e9])),
+        adaptive_d=draw(st.booleans()),
+        chain_words_per_depth=draw(st.sampled_from([4, 8, 32])),
+    )
+    return wl, cfg
+
+
+class TestMachineProperties:
+    @given(machine_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_terminates_with_correct_answers(self, case):
+        wl, cfg = case
+        expected = sorted(
+            str(s["W"])
+            for s in Solver(wl.program, max_depth=32).solve_all(wl.query)
+        )
+        tree = OrTree(wl.program, wl.query, max_depth=32)
+        res = BLogMachine(cfg).run(tree)
+        got = sorted(str(a["W"]) for a in res.answers)
+        assert got == expected
+        assert res.makespan >= 0
+
+    @given(machine_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_work_conservation(self, case):
+        """Total expansions equal the sum over processors, regardless of
+        migration pattern."""
+        wl, cfg = case
+        tree = OrTree(wl.program, wl.query, max_depth=32)
+        res = BLogMachine(cfg).run(tree)
+        assert sum(res.per_processor_expansions) == res.expansions
+        assert res.idle_pulls + res.rebalances == res.migrations
+
+    @given(machine_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_utilization_bounded(self, case):
+        wl, cfg = case
+        tree = OrTree(wl.program, wl.query, max_depth=32)
+        res = BLogMachine(cfg).run(tree)
+        for u in res.per_processor_utilization:
+            assert 0.0 <= u <= 1.0 + 1e-9
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        """The DES is fully deterministic: two runs of the same config
+        produce byte-identical event traces and results."""
+        wl = synthetic_tree(branching=3, depth=4, dead_fraction=0.34, seed=77)
+
+        def run():
+            cfg = MachineConfig(
+                n_processors=4, tasks_per_processor=2, d=2.0, record_events=True
+            )
+            tree = OrTree(wl.program, wl.query, max_depth=32)
+            return BLogMachine(cfg).run(tree)
+
+        a, b = run(), run()
+        assert a.makespan == b.makespan
+        assert a.events == b.events
+        assert [str(x) for x in a.answers] == [str(x) for x in b.answers]
+        assert a.per_processor_expansions == b.per_processor_expansions
+
+    def test_engine_runs_deterministic(self, figure1=None):
+        from repro.core import BLogConfig, BLogEngine
+        from repro.workloads import family_program
+
+        program = family_program()
+
+        def run():
+            eng = BLogEngine(program, BLogConfig(n=8, a=16))
+            eng.begin_session()
+            r = eng.query("gf(sam, G)")
+            eng.end_session()
+            return r
+
+        a, b = run(), run()
+        assert [str(x) for x in a.answers] == [str(x) for x in b.answers]
+        assert a.expansions == b.expansions
+        assert a.solution_bounds == b.solution_bounds

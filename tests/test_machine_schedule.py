@@ -1,0 +1,132 @@
+"""Tests for DAG list scheduling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.schedule import ScheduleResult, TaskGraph, list_schedule
+
+
+def chain_graph(n, dur=1.0):
+    g = TaskGraph()
+    for i in range(n):
+        g.add_task(i, dur)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def fork_join(width, dur=1.0):
+    g = TaskGraph()
+    g.add_task("src", dur)
+    g.add_task("sink", dur)
+    for i in range(width):
+        g.add_task(f"m{i}", dur)
+        g.add_edge("src", f"m{i}")
+        g.add_edge(f"m{i}", "sink")
+    return g
+
+
+class TestGraph:
+    def test_total_work(self):
+        g = chain_graph(4, 2.0)
+        assert g.total_work == 8.0
+
+    def test_critical_path_chain(self):
+        assert chain_graph(5).critical_path() == 5.0
+
+    def test_critical_path_fork_join(self):
+        assert fork_join(8).critical_path() == 3.0
+
+    def test_cycle_detected(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        g.add_task("b", 1)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(ValueError):
+            g.critical_path()
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        with pytest.raises(ValueError):
+            g.add_task("a", 2)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph().add_task("a", -1)
+
+    def test_edge_endpoints_checked(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        with pytest.raises(KeyError):
+            g.add_edge("a", "ghost")
+
+
+class TestScheduling:
+    def test_chain_cannot_parallelize(self):
+        g = chain_graph(6)
+        r = list_schedule(g, 4)
+        assert r.makespan == 6.0
+        assert r.speedup == 1.0
+
+    def test_fork_join_parallelizes(self):
+        g = fork_join(8)
+        r1 = list_schedule(g, 1)
+        r8 = list_schedule(g, 8)
+        assert r1.makespan == 10.0
+        assert r8.makespan == 3.0  # = critical path
+
+    def test_precedence_respected(self):
+        g = fork_join(4)
+        r = list_schedule(g, 2)
+        for p, s in g.edges:
+            assert r.start_times[s] >= r.start_times[p] + g.durations[p]
+
+    def test_no_processor_overlap(self):
+        g = fork_join(6)
+        r = list_schedule(g, 3)
+        by_proc = {}
+        for t, pix in r.assignment.items():
+            by_proc.setdefault(pix, []).append(
+                (r.start_times[t], r.start_times[t] + g.durations[t])
+            )
+        for spans in by_proc.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert s2 >= e1
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            list_schedule(chain_graph(2), 0)
+
+    def test_efficiency_bounds(self):
+        g = fork_join(8)
+        r = list_schedule(g, 4)
+        assert 0 < r.efficiency <= 1.0
+
+
+class TestGrahamBound:
+    @given(st.integers(1, 24), st.integers(1, 6), st.integers(0, 50))
+    def test_within_graham_bound(self, n_tasks, processors, n_edges):
+        """List scheduling is within 2 - 1/m of optimal; optimal is at
+        least max(critical path, work/m)."""
+        import numpy as np
+
+        rng = np.random.default_rng(n_tasks * 100 + processors * 7 + n_edges)
+        g = TaskGraph()
+        for i in range(n_tasks):
+            g.add_task(i, float(rng.integers(1, 10)))
+        for _ in range(n_edges):
+            a, b = sorted(rng.choice(n_tasks, size=2, replace=False)) if n_tasks > 1 else (0, 0)
+            if a != b:
+                g.add_edge(int(a), int(b))
+        r = list_schedule(g, processors)
+        lower = max(g.critical_path(), g.total_work / processors)
+        assert r.makespan >= lower - 1e-9
+        assert r.makespan <= lower * (2 - 1 / processors) + 1e-9
+
+    def test_makespan_never_worse_with_more_processors_on_forkjoin(self):
+        g = fork_join(12)
+        m = [list_schedule(g, p).makespan for p in (1, 2, 4, 12)]
+        assert m == sorted(m, reverse=True)

@@ -1,0 +1,127 @@
+"""Unit tests for the scoreboard-driven controller (§6)."""
+
+import pytest
+
+from repro.machine import MicroOp, Scoreboard, expansion_program
+
+
+class TestMicroOp:
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            MicroOp("unify", "t1", ("t1",))
+
+
+class TestScoreboardExecution:
+    def test_single_op(self):
+        sb = Scoreboard(unit_counts={"unify": 1}, latencies={"unify": 3})
+        stats = sb.run([MicroOp("unify", "a")])
+        assert stats.issued == 1
+        assert stats.cycles >= 3
+
+    def test_raw_dependency_serializes(self):
+        sb = Scoreboard(unit_counts={"unify": 2}, latencies={"unify": 3})
+        chain = [
+            MicroOp("unify", "a"),
+            MicroOp("unify", "b", ("a",)),
+            MicroOp("unify", "c", ("b",)),
+        ]
+        stats = sb.run(chain)
+        assert stats.cycles >= 9  # strictly sequential despite 2 units
+        assert stats.raw_stalls > 0
+
+    def test_independent_ops_overlap(self):
+        sb = Scoreboard(unit_counts={"unify": 4}, latencies={"unify": 10})
+        ops = [MicroOp("unify", f"t{i}") for i in range(4)]
+        stats = sb.run(ops)
+        assert stats.cycles < 4 * 10  # real overlap
+
+    def test_structural_hazard_with_one_unit(self):
+        sb = Scoreboard(unit_counts={"unify": 1}, latencies={"unify": 10})
+        ops = [MicroOp("unify", f"t{i}") for i in range(3)]
+        stats = sb.run(ops)
+        assert stats.cycles >= 30
+        assert stats.structural_stalls > 0
+
+    def test_duplicate_dest_rejected(self):
+        sb = Scoreboard()
+        with pytest.raises(ValueError):
+            sb.run([MicroOp("unify", "a"), MicroOp("copy", "a")])
+
+    def test_latency_override(self):
+        sb = Scoreboard(unit_counts={"copy": 1}, latencies={"copy": 2})
+        stats = sb.run([MicroOp("copy", "a", latency=20)])
+        assert stats.cycles >= 20
+
+    def test_mixed_unit_kinds(self):
+        sb = Scoreboard()
+        ops = [
+            MicroOp("search", "cands"),
+            MicroOp("unify", "u0", ("cands",)),
+            MicroOp("unify", "u1", ("cands",)),
+            MicroOp("copy", "c0", ("u0",)),
+            MicroOp("copy", "c1", ("u1",)),
+            MicroOp("select", "sel", ("c0", "c1")),
+        ]
+        stats = sb.run(ops)
+        assert stats.issued == 6
+        util = stats.utilization(sb.unit_counts)
+        assert 0 < util["unify"] <= 1.0
+
+    def test_utilization_bounds(self):
+        sb = Scoreboard()
+        stats = sb.run(expansion_program(4, 2))
+        for kind, u in stats.utilization(sb.unit_counts).items():
+            assert 0.0 <= u <= 1.0
+
+
+class TestExpansionProgram:
+    def test_shape(self):
+        prog = expansion_program(n_candidates=3, n_matches=2)
+        kinds = [op.kind for op in prog]
+        assert kinds.count("search") == 1
+        assert kinds.count("unify") == 3
+        assert kinds.count("copy") == 2
+        assert kinds.count("select") == 1
+
+    def test_matches_cannot_exceed_candidates(self):
+        with pytest.raises(ValueError):
+            expansion_program(2, 3)
+
+    def test_no_matches_still_selects(self):
+        prog = expansion_program(2, 0)
+        assert prog[-1].kind == "select"
+        sb = Scoreboard()
+        stats = sb.run(prog)
+        assert stats.issued == len(prog)
+
+    def test_copy_latency_scales_with_chain(self):
+        small = expansion_program(1, 1, chain_words=8)
+        large = expansion_program(1, 1, chain_words=128)
+        small_copy = [op for op in small if op.kind == "copy"][0]
+        large_copy = [op for op in large if op.kind == "copy"][0]
+        assert large_copy.latency > small_copy.latency
+
+    def test_wider_fanout_costs_more_cycles(self):
+        sb = Scoreboard()
+        narrow = sb.run(expansion_program(1, 1)).cycles
+        wide = sb.run(expansion_program(8, 8)).cycles
+        assert wide > narrow
+
+    def test_parallel_units_beat_serial_units(self):
+        """More unify/copy units shorten the same expansion — the
+        scoreboard keeps 'a collection of units' busy."""
+        serial = Scoreboard(
+            unit_counts={"search": 1, "unify": 1, "copy": 1, "select": 1}
+        )
+        parallel = Scoreboard(
+            unit_counts={"search": 1, "unify": 4, "copy": 4, "select": 1}
+        )
+        prog = expansion_program(6, 6)
+        assert parallel.run(list(prog)).cycles < serial.run(list(prog)).cycles
+
+    def test_unique_tags_across_calls(self):
+        p1 = expansion_program(2, 1)
+        p2 = expansion_program(2, 1)
+        tags1 = {op.dest for op in p1}
+        tags2 = {op.dest for op in p2}
+        assert not tags1 & tags2

@@ -1,0 +1,255 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.machine import (
+    Acquire,
+    Resource,
+    Signal,
+    SimError,
+    Simulator,
+    Timeout,
+    WaitSignal,
+)
+
+
+class TestTimeouts:
+    def test_time_advances(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield Timeout(5)
+            log.append(sim.now)
+            yield Timeout(3)
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [5, 8]
+        assert sim.now == 8
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(0)
+            return "done"
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == "done"
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimError):
+            Timeout(-1)
+
+    def test_simultaneous_events_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+
+        def mk(name):
+            def proc():
+                yield Timeout(10)
+                order.append(name)
+
+            return proc()
+
+        for n in ("a", "b", "c"):
+            sim.spawn(mk(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(100)
+
+        sim.spawn(proc())
+        now = sim.run(until=40)
+        assert now == 40
+        sim.run()
+        assert sim.now == 100
+
+    def test_interleaving(self):
+        sim = Simulator()
+        log = []
+
+        def fast():
+            for _ in range(3):
+                yield Timeout(2)
+                log.append(("fast", sim.now))
+
+        def slow():
+            yield Timeout(5)
+            log.append(("slow", sim.now))
+
+        sim.spawn(fast())
+        sim.spawn(slow())
+        sim.run()
+        assert log == [("fast", 2), ("fast", 4), ("slow", 5), ("fast", 6)]
+
+
+class TestResources:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        res = sim.resource(1, "cpu")
+        spans = []
+
+        def proc(name, hold):
+            yield Acquire(res)
+            start = sim.now
+            yield Timeout(hold)
+            res.release()
+            spans.append((name, start, sim.now))
+
+        sim.spawn(proc("a", 10))
+        sim.spawn(proc("b", 5))
+        sim.run()
+        # b waits for a: no overlap
+        assert spans == [("a", 0, 10), ("b", 10, 15)]
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        res = sim.resource(2, "duo")
+        done = []
+
+        def proc(name):
+            yield Acquire(res)
+            yield Timeout(10)
+            res.release()
+            done.append((name, sim.now))
+
+        for n in ("a", "b", "c"):
+            sim.spawn(proc(n))
+        sim.run()
+        assert done == [("a", 10), ("b", 10), ("c", 20)]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        res = sim.resource(1)
+        order = []
+
+        def holder():
+            yield Acquire(res)
+            yield Timeout(10)
+            res.release()
+
+        def waiter(name, arrive):
+            yield Timeout(arrive)
+            yield Acquire(res)
+            order.append(name)
+            res.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter("late", 5))
+        sim.spawn(waiter("later", 6))
+        sim.run()
+        assert order == ["late", "later"]
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = sim.resource(1)
+        with pytest.raises(SimError):
+            res.release()
+
+    def test_utilization(self):
+        sim = Simulator()
+        res = sim.resource(1)
+
+        def proc():
+            yield Acquire(res)
+            yield Timeout(50)
+            res.release()
+            yield Timeout(50)
+
+        sim.spawn(proc())
+        sim.run()
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_bad_capacity(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            sim.resource(0)
+
+
+class TestSignals:
+    def test_broadcast_wakes_all(self):
+        sim = Simulator()
+        sig = sim.signal("go")
+        woken = []
+
+        def waiter(name):
+            payload = yield WaitSignal(sig)
+            woken.append((name, payload, sim.now))
+
+        def firer():
+            yield Timeout(7)
+            sig.fire("payload!")
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.spawn(firer())
+        sim.run()
+        assert woken == [("a", "payload!", 7), ("b", "payload!", 7)]
+
+    def test_fire_with_no_waiters(self):
+        sim = Simulator()
+        sig = sim.signal()
+        assert sig.fire() == 0
+
+    def test_waiter_after_fire_blocks_forever(self):
+        sim = Simulator()
+        sig = sim.signal()
+        reached = []
+
+        def late():
+            yield Timeout(1)
+            yield WaitSignal(sig)
+            reached.append(True)  # pragma: no cover
+
+        def early():
+            sig.fire()
+            yield Timeout(0)
+
+        sim.spawn(early())
+        p = sim.spawn(late())
+        sim.run()
+        assert reached == []
+        assert p.alive  # still blocked — signals are not latched
+
+
+class TestProtocol:
+    def test_bad_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.spawn(proc())
+        with pytest.raises(SimError):
+            sim.run()
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield Timeout(0)
+
+        sim.spawn(spinner())
+        with pytest.raises(SimError):
+            sim.run(max_events=1000)
+
+    def test_process_result_captured(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1)
+            return 42
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == 42
+        assert not p.alive

@@ -1,0 +1,95 @@
+"""Tests for Batcher's sorting network (§3, reference [1])."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.sorting import batcher_network, min_tree_cost
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_power_of_two_sizes(self, n):
+        net = batcher_network(n)
+        assert net.size == n
+
+    def test_non_power_rounds_up(self):
+        assert batcher_network(5).size == 8
+        assert batcher_network(9).size == 16
+
+    def test_comparator_count_formula(self):
+        """Odd-even mergesort uses (k^2 - k + 4)·2^(k-2) - 1 comparators
+        for 2^k inputs; spot-check known values."""
+        known = {2: 1, 4: 5, 8: 19, 16: 63}
+        for size, count in known.items():
+            assert batcher_network(size).comparator_count == count
+
+    def test_depth_is_k_times_k_plus_1_over_2(self):
+        """Gate depth of odd-even mergesort is k(k+1)/2 for 2^k inputs."""
+        for k in range(1, 6):
+            net = batcher_network(2**k)
+            assert net.depth == k * (k + 1) // 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            batcher_network(0)
+
+
+class TestSorting:
+    @given(st.lists(st.integers(-100, 100), min_size=0, max_size=16))
+    def test_sorts_everything(self, values):
+        net = batcher_network(max(1, len(values)))
+        assert net.sort(values) == sorted(values)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=32))
+    def test_sorts_floats(self, values):
+        net = batcher_network(len(values))
+        assert net.sort(values) == sorted(values)
+
+    def test_oversized_input_rejected(self):
+        net = batcher_network(4)
+        with pytest.raises(ValueError):
+            net.sort([1, 2, 3, 4, 5])
+
+    def test_padding_with_short_input(self):
+        net = batcher_network(8)
+        assert net.sort([3, 1, 2]) == [1, 2, 3]
+
+    @given(
+        st.lists(st.integers(0, 1000), min_size=1, max_size=16),
+        st.integers(1, 16),
+    )
+    def test_select_lowest(self, values, n):
+        net = batcher_network(len(values))
+        n = min(n, len(values))
+        assert net.select_lowest(values, n) == sorted(values)[:n]
+
+
+class TestStages:
+    def test_stages_partition_comparators(self):
+        net = batcher_network(8)
+        flat = [c for stage in net.stages for c in stage]
+        assert sorted(flat) == sorted(net.comparators)
+
+    def test_no_wire_conflicts_within_stage(self):
+        net = batcher_network(16)
+        for stage in net.stages:
+            wires = [w for c in stage for w in c]
+            assert len(wires) == len(set(wires))
+
+
+class TestCostComparison:
+    def test_sorting_network_costlier_than_min_tree(self):
+        """The §3→§6 design decision: full sorting costs O(n log² n)
+        comparators vs the min tree's n-1."""
+        for n in (8, 16, 32, 64):
+            net = batcher_network(n)
+            tree = min_tree_cost(n)
+            assert net.comparator_count > tree["comparators"]
+            assert net.depth >= tree["depth"]
+
+    def test_ratio_grows(self):
+        r8 = batcher_network(8).comparator_count / min_tree_cost(8)["comparators"]
+        r64 = batcher_network(64).comparator_count / min_tree_cost(64)["comparators"]
+        assert r64 > r8

@@ -1,0 +1,129 @@
+"""Direct unit tests for components previously only covered indirectly."""
+
+import pytest
+
+from repro.machine.processor import LocalMemory, ProcessorState
+from repro.machine.sim import Simulator
+
+
+class TestLocalMemory:
+    def test_miss_then_hit(self):
+        mem = LocalMemory(4)
+        assert not mem.touch(1)
+        mem.insert(1)
+        assert mem.touch(1)
+        assert mem.hits == 1 and mem.misses == 1
+        assert mem.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        mem = LocalMemory(2)
+        mem.insert(1)
+        mem.insert(2)
+        mem.touch(1)  # 1 is now most recent
+        mem.insert(3)  # evicts 2
+        assert 1 in mem and 3 in mem and 2 not in mem
+
+    def test_insert_many(self):
+        mem = LocalMemory(8)
+        mem.insert_many(range(5))
+        assert len(mem) == 5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LocalMemory(0)
+
+    def test_empty_hit_rate(self):
+        assert LocalMemory(2).hit_rate == 0.0
+
+
+class TestProcessorState:
+    def test_pool_orders_by_bound(self):
+        sim = Simulator()
+        proc = ProcessorState(0, sim)
+        proc.push(5.0, 10)
+        proc.push(2.0, 20)
+        proc.push(9.0, 30)
+        assert proc.peek_min() == 2.0
+        assert proc.pop_min() == (2.0, 20)
+        assert proc.pop_min() == (5.0, 10)
+
+    def test_ties_fifo(self):
+        sim = Simulator()
+        proc = ProcessorState(0, sim)
+        proc.push(1.0, 100)
+        proc.push(1.0, 200)
+        assert proc.pop_min() == (1.0, 100)
+
+    def test_empty_pool(self):
+        sim = Simulator()
+        proc = ProcessorState(0, sim)
+        assert proc.pop_min() is None
+        assert proc.peek_min() == float("inf")
+        assert len(proc) == 0
+
+
+class TestIfIndep:
+    def test_runtime_independence_branch(self):
+        from repro.andpar.cge import CgeExecutor, Goal, IfIndep, Par, Seq
+        from repro.logic import Program, parse_query
+
+        program = Program.from_source("q(1). q(2). r(a). r(b).")
+        plan = IfIndep(
+            left=0,
+            right=1,
+            then=Par((Goal(0), Goal(1))),
+            otherwise=Seq((Goal(0), Goal(1))),
+        )
+        # independent goals: guard passes, parallel product
+        goals = parse_query("q(X), r(Y)")
+        rec = CgeExecutor(program).run(tuple(goals), plan)
+        assert rec.guards_true == 1
+        assert rec.ran_parallel
+        assert len(rec.answers) == 4
+        # dependent goals: guard fails, sequential
+        goals2 = parse_query("q(X), r(X)")
+        rec2 = CgeExecutor(program).run(tuple(goals2), plan)
+        assert rec2.guards_true == 0
+        assert not rec2.ran_parallel
+        assert rec2.answers == []  # q and r share no values
+
+    def test_render(self):
+        from repro.andpar.cge import Goal, IfIndep, Seq
+
+        node = IfIndep(0, 1, Goal(0), Seq((Goal(0), Goal(1))))
+        assert "indep(g0,g1)" in node.render()
+
+
+class TestSmallUtilities:
+    def test_reset_var_counter(self):
+        from repro.logic import Var, reset_var_counter
+
+        reset_var_counter()
+        v1 = Var("A")
+        reset_var_counter()
+        v2 = Var("B")
+        assert v1.id == v2.id  # counter restarted
+
+    def test_library_clauses_parse(self):
+        from repro.logic import library_clauses
+
+        clauses = library_clauses()
+        assert len(clauses) > 20
+        indicators = {c.indicator for c in clauses}
+        assert ("append", 3) in indicators
+        assert ("permutation", 2) in indicators
+
+    def test_build_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["--demo"])
+        assert args.engine == "blog"
+        assert args.n == 16.0
+        assert args.processors == 4
+
+    def test_board_from_term_validates(self):
+        from repro.logic import make_list, Atom
+        from repro.workloads import board_from_term
+
+        with pytest.raises(ValueError):
+            board_from_term(make_list([Atom("x")]))

@@ -1,0 +1,43 @@
+"""Tests for the naive-reverse workload and its inference accounting."""
+
+import pytest
+
+from repro.logic import Solver, list_to_python
+from repro.workloads import nrev_inferences, nrev_program, nrev_query, run_nrev
+
+
+class TestNrevCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 10])
+    def test_reverses(self, n):
+        program = nrev_program()
+        query, _ = nrev_query(n)
+        solver = Solver(program, max_depth=4 * n + 32)
+        sols = solver.solve_all(query, max_solutions=1)
+        got = [t.value for t in list_to_python(sols[0]["R"])]
+        assert got == list(range(n, 0, -1))
+
+    def test_single_solution(self):
+        program = nrev_program()
+        query, _ = nrev_query(6)
+        solver = Solver(program, max_depth=64)
+        assert len(solver.solve_all(query)) == 1
+
+
+class TestInferenceAccounting:
+    @pytest.mark.parametrize("n", [0, 1, 5, 10, 30])
+    def test_textbook_formula(self, n):
+        """Successful resolutions per nrev/n equal n(n+1)/2 + n + 1 —
+        the classic LIPS accounting."""
+        program = nrev_program()
+        query, _ = nrev_query(n)
+        solver = Solver(program, max_depth=4 * n + 32)
+        solver.solve_all(query, max_solutions=1)
+        assert solver.stats.resolutions == nrev_inferences(n)
+
+
+class TestRunNrev:
+    def test_run_reports(self):
+        res = run_nrev(10, repeats=2)
+        assert res.reversed_ok
+        assert res.resolutions == 2 * nrev_inferences(10)
+        assert res.lips > 0

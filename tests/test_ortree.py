@@ -1,0 +1,219 @@
+"""Unit tests for the explicit OR-tree (figure 3)."""
+
+import pytest
+
+from repro.logic import Program
+from repro.ortree import ArcKey, NodeStatus, OrTree, canonical_goal
+from repro.logic import parse_term
+
+
+class TestFigure3:
+    """The paper's figure-3 tree for ?- gf(sam, G)."""
+
+    @pytest.fixture
+    def tree(self, figure1):
+        t = OrTree(figure1, "gf(sam, G)")
+        t.expand_all()
+        return t
+
+    def test_node_count(self, tree):
+        # root + 2 rule nodes + 2 f(sam,larry) nodes + 2 solutions = 7
+        assert len(tree.nodes) == 7
+
+    def test_two_solutions_one_failure(self, tree):
+        assert len(tree.solutions()) == 2
+        assert len(tree.failures()) == 1
+
+    def test_solution_answers(self, tree):
+        answers = sorted(
+            str(tree.solution_answer(s)["G"]) for s in tree.solutions()
+        )
+        assert answers == ["den", "doug"]
+
+    def test_failure_is_m_branch(self, tree):
+        (fail,) = tree.failures()
+        assert str(fail.selected_goal) == "m(larry, G)" or str(
+            fail.selected_goal
+        ).startswith("m(larry")
+
+    def test_root_fanout_is_two_rules(self, tree):
+        assert len(tree.root.children) == 2
+
+    def test_chain_to_solution(self, tree):
+        sol = tree.solutions()[0]
+        chain = tree.chain(sol.nid)
+        assert chain[0] is tree.root
+        assert chain[-1] is sol
+        assert len(chain) == 4  # root, rule, f(sam,larry), solution
+
+    def test_chain_arcs_length(self, tree):
+        sol = tree.solutions()[0]
+        assert len(tree.chain_arcs(sol.nid)) == 3
+
+    def test_depths_monotone_along_chain(self, tree):
+        for sol in tree.solutions():
+            depths = [n.depth for n in tree.chain(sol.nid)]
+            assert depths == sorted(depths)
+            assert depths[0] == 0
+
+    def test_render_contains_statuses(self, tree):
+        text = tree.render()
+        assert "[SOLUTION]" in text
+        assert "[FAILURE]" in text
+
+
+class TestArcKeys:
+    def test_pointer_keys_identify_clause_pointers(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)", arc_key_policy="pointer")
+        children = tree.expand(0)
+        keys = [tree.node(c).arc.key for c in children]
+        assert all(k.kind == "pointer" for k in keys)
+        # query pseudo-clause is -1, literal 0, resolving clauses 0 and 1
+        assert keys[0].key == (-1, 0, 0)
+        assert keys[1].key == (-1, 0, 1)
+
+    def test_goal_policy_merges_same_goal(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)", arc_key_policy="goal")
+        tree.expand_all()
+        # the two f(sam,Y) resolutions (under rule 1 and rule 2) share a key
+        keys = [a.key for a in tree.arcs if a.key.kind == "goal"]
+        assert len(keys) > len(set(keys))  # at least one duplicate
+
+    def test_pointer_policy_distinguishes_callers(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)", arc_key_policy="pointer")
+        tree.expand_all()
+        keys = [a.key for a in tree.arcs]
+        assert len(keys) == len(set(keys)) + 0  # pointer keys may still repeat
+        # but the two f(sam,larry) arcs have different caller clause ids
+        f_arcs = [
+            a.key.key
+            for a in tree.arcs
+            if a.key.kind == "pointer" and a.key.key[2] == 3  # f(sam,larry) id
+        ]
+        callers = {k[0] for k in f_arcs}
+        assert callers == {0, 1}
+
+    def test_invalid_policy_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            OrTree(figure1, "gf(sam, G)", arc_key_policy="bogus")
+
+    def test_canonical_goal_normalizes_vars(self):
+        a = canonical_goal(parse_term("f(sam, Y)"))
+        b = canonical_goal(parse_term("f(sam, Z)"))
+        assert a == b
+
+    def test_canonical_goal_keeps_sharing(self):
+        a = canonical_goal(parse_term("f(X, X)"))
+        b = canonical_goal(parse_term("f(X, Y)"))
+        assert a != b
+
+
+class TestWeightedBounds:
+    def test_bounds_accumulate_weights(self, figure1):
+        weights = {(-1, 0, 0): 1.0, (-1, 0, 1): 5.0}
+
+        def wf(key: ArcKey) -> float:
+            return weights.get(key.key, 2.0)
+
+        tree = OrTree(figure1, "gf(sam, G)", weight_fn=wf)
+        children = tree.expand(0)
+        assert tree.node(children[0]).bound == 1.0
+        assert tree.node(children[1]).bound == 5.0
+        grand = tree.expand(children[0])
+        assert tree.node(grand[0]).bound == 3.0
+
+    def test_bound_monotone_everywhere(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)", weight_fn=lambda k: 1.0)
+        tree.expand_all()
+        for node in tree.nodes:
+            if node.parent is not None:
+                assert node.bound >= tree.node(node.parent).bound
+
+
+class TestBuiltinsInTree:
+    def test_deterministic_builtin_single_child(self):
+        p = Program.from_source("double(X, Y) :- Y is X * 2.")
+        tree = OrTree(p, "double(3, R)")
+        tree.expand_all()
+        sols = tree.solutions()
+        assert len(sols) == 1
+        assert str(tree.solution_answer(sols[0])["R"]) == "6"
+
+    def test_between_fans_out(self):
+        p = Program.from_source("pick(X) :- between(1, 3, X).")
+        tree = OrTree(p, "pick(X)")
+        tree.expand_all()
+        assert len(tree.solutions()) == 3
+
+    def test_failing_builtin_marks_failure(self):
+        p = Program.from_source("bad(X) :- X > 100.")
+        tree = OrTree(p, "bad(5)")
+        tree.expand_all()
+        assert len(tree.solutions()) == 0
+        assert len(tree.failures()) == 1
+
+    def test_builtin_arcs_have_builtin_keys(self):
+        p = Program.from_source("double(X, Y) :- Y is X * 2.")
+        tree = OrTree(p, "double(3, R)")
+        tree.expand_all()
+        kinds = {a.key.kind for a in tree.arcs}
+        assert "builtin" in kinds
+
+
+class TestLimits:
+    def test_depth_cutoff_counts(self):
+        p = Program.from_source("loop(X) :- loop(X).\nloop(done).")
+        tree = OrTree(p, "loop(W)", max_depth=5)
+        tree.expand_all()
+        assert tree.depth_cutoffs > 0
+
+    def test_expand_all_node_limit(self):
+        p = Program.from_source("b(X) :- b(X).\nb(X) :- b(X).\nb(leaf).")
+        tree = OrTree(p, "b(W)", max_depth=64)
+        with pytest.raises(RuntimeError):
+            tree.expand_all(limit=100)
+
+    def test_expand_terminal_node_is_noop(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        tree.expand_all()
+        sol = tree.solutions()[0]
+        assert tree.expand(sol.nid) == []
+
+    def test_expand_twice_returns_same_children(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        first = tree.expand(0)
+        again = tree.expand(0)
+        assert first == again
+        assert tree.expansions == 1
+
+
+class TestEmptyAndGroundQueries:
+    def test_ground_query_solution(self, figure1):
+        tree = OrTree(figure1, "gf(sam, den)")
+        tree.expand_all()
+        assert len(tree.solutions()) == 1
+        assert tree.solution_answer(tree.solutions()[0]) == {}
+
+    def test_no_match_immediate_failure(self, figure1):
+        tree = OrTree(figure1, "nosuch(a)")
+        tree.expand(0)
+        assert tree.root.status is NodeStatus.FAILURE
+
+
+class TestCopyAccounting:
+    def test_words_copied_accumulates(self, figure1):
+        tree = OrTree(figure1, "gf(sam, G)")
+        assert tree.words_copied == 0
+        tree.expand_all()
+        assert tree.words_copied > 0
+
+    def test_deeper_chains_copy_more(self):
+        from repro.workloads import comb_tree
+
+        shallow = comb_tree(teeth=2, tooth_depth=2)
+        deep = comb_tree(teeth=2, tooth_depth=8)
+        t1 = OrTree(shallow.program, shallow.query, max_depth=32)
+        t1.expand_all()
+        t2 = OrTree(deep.program, deep.query, max_depth=32)
+        t2.expand_all()
+        assert t2.words_copied > t1.words_copied

@@ -1,0 +1,241 @@
+"""Unit tests for the tokenizer and parser."""
+
+import pytest
+
+from repro.logic import (
+    Atom,
+    Clause,
+    Int,
+    ParseError,
+    Struct,
+    Var,
+    format_clause,
+    parse_clause,
+    parse_program,
+    parse_query,
+    parse_term,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_simple_fact(self):
+        toks = tokenize("f(curt, elain).")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["atom", "punct", "atom", "punct", "atom", "punct", "punct", "end"]
+
+    def test_variables_upper_and_underscore(self):
+        toks = tokenize("X _y Foo _")
+        assert all(t.kind == "var" for t in toks[:-1])
+
+    def test_line_comment(self):
+        toks = tokenize("a. % comment here\nb.")
+        texts = [t.text for t in toks if t.kind == "atom"]
+        assert texts == ["a", "b"]
+
+    def test_block_comment(self):
+        toks = tokenize("a. /* multi\nline */ b.")
+        texts = [t.text for t in toks if t.kind == "atom"]
+        assert texts == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a. /* oops")
+
+    def test_quoted_atom(self):
+        toks = tokenize("'hello world'")
+        assert toks[0].kind == "atom"
+        assert toks[0].text == "hello world"
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_multichar_operators(self):
+        toks = tokenize(":- ?- =< >= =:= =\\= \\= == \\==")
+        texts = [t.text for t in toks if t.kind == "punct"]
+        assert texts == [":-", "?-", "=<", ">=", "=:=", "=\\=", "\\=", "==", "\\=="]
+
+    def test_line_col_tracking(self):
+        toks = tokenize("a.\n  b.")
+        b_tok = [t for t in toks if t.text == "b"][0]
+        assert (b_tok.line, b_tok.col) == (2, 3)
+
+    def test_unexpected_char(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestTermParsing:
+    def test_atom(self):
+        assert parse_term("sam") == Atom("sam")
+
+    def test_int(self):
+        assert parse_term("42") == Int(42)
+
+    def test_negative_int(self):
+        assert parse_term("-7") == Int(-7)
+
+    def test_var(self):
+        t = parse_term("X")
+        assert isinstance(t, Var) and t.name == "X"
+
+    def test_compound(self):
+        t = parse_term("f(a, B, 3)")
+        assert isinstance(t, Struct)
+        assert t.functor == "f" and t.arity == 3
+        assert t.args[0] == Atom("a")
+        assert isinstance(t.args[1], Var)
+        assert t.args[2] == Int(3)
+
+    def test_nested_compound(self):
+        t = parse_term("f(g(h(x)))")
+        assert str(t) == "f(g(h(x)))"
+
+    def test_var_sharing_within_clause(self):
+        cl = parse_clause("p(X, X).")
+        a0, a1 = cl.head.args
+        assert a0 == a1
+
+    def test_anonymous_vars_distinct(self):
+        cl = parse_clause("p(_, _).")
+        a0, a1 = cl.head.args
+        assert a0 != a1
+
+    def test_list_literal(self):
+        t = parse_term("[1, 2, 3]")
+        assert str(t) == "[1, 2, 3]"
+
+    def test_list_with_tail(self):
+        t = parse_term("[H|T]")
+        assert isinstance(t, Struct) and t.functor == "."
+
+    def test_empty_list(self):
+        assert parse_term("[]") == Atom("[]")
+
+    def test_arith_precedence(self):
+        t = parse_term("1 + 2 * 3")
+        assert str(t) == "+(1, *(2, 3))"
+
+    def test_left_assoc_subtraction(self):
+        t = parse_term("10 - 3 - 2")
+        assert str(t) == "-(-(10, 3), 2)"
+
+    def test_parentheses_override(self):
+        t = parse_term("(1 + 2) * 3")
+        assert str(t) == "*(+(1, 2), 3)"
+
+    def test_comparison_operator(self):
+        t = parse_term("X =< Y + 1")
+        assert isinstance(t, Struct) and t.functor == "=<"
+
+    def test_is_operator(self):
+        t = parse_term("X is Y mod 2")
+        assert t.functor == "is"
+        assert t.args[1].functor == "mod"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("f(a) b")
+
+
+class TestClauseParsing:
+    def test_fact(self):
+        cl = parse_clause("f(curt, elain).")
+        assert cl.is_fact
+        assert cl.indicator == ("f", 2)
+
+    def test_rule(self):
+        cl = parse_clause("gf(X,Z) :- f(X,Y), f(Y,Z).")
+        assert not cl.is_fact
+        assert len(cl.body) == 2
+
+    def test_head_body_share_vars(self):
+        cl = parse_clause("p(X) :- q(X).")
+        assert cl.head.args[0] == cl.body[0].args[0]
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_clause("f(a)")
+
+    def test_atom_fact(self):
+        cl = parse_clause("go.")
+        assert cl.head == Atom("go")
+
+    def test_cut_in_body(self):
+        cl = parse_clause("p(X) :- q(X), !, r(X).")
+        assert cl.body[1] == Atom("!")
+
+    def test_format_roundtrip_fact(self):
+        src = "f(curt, elain)."
+        assert format_clause(parse_clause(src)) == src
+
+    def test_format_roundtrip_rule(self):
+        src = "gf(X, Z) :- f(X, Y), f(Y, Z)."
+        assert format_clause(parse_clause(src)) == src
+
+
+class TestQueryParsing:
+    def test_with_prefix(self):
+        goals = parse_query("?- gf(sam, G).")
+        assert len(goals) == 1
+
+    def test_without_prefix(self):
+        goals = parse_query("f(X,Y), m(Y,Z)")
+        assert len(goals) == 2
+
+    def test_shared_vars_across_goals(self):
+        g1, g2 = parse_query("f(X,Y), m(Y,Z)")
+        assert g1.args[1] == g2.args[0]
+
+
+class TestProgramParsing:
+    def test_figure1_program(self):
+        from repro.workloads import FIGURE1_SOURCE
+
+        clauses = parse_program(FIGURE1_SOURCE)
+        assert len(clauses) == 12  # 2 rules + 10 facts
+        facts = [c for c in clauses if c.is_fact]
+        assert len(facts) == 10
+
+    def test_empty_program(self):
+        assert parse_program("") == []
+
+    def test_comments_only(self):
+        assert parse_program("% nothing\n/* here */") == []
+
+    def test_multiple_clauses_with_comments(self):
+        clauses = parse_program("a. % one\nb :- a. /* two */\nc.")
+        assert len(clauses) == 3
+
+
+class TestParserFuzz:
+    """The parser must never hang or raise anything but ParseError."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=120, deadline=None)
+    def test_tokenize_total(self, text):
+        try:
+            toks = tokenize(text)
+            assert toks[-1].kind == "end"
+        except ParseError:
+            pass
+
+    @given(st.text(alphabet="abXY,()[]|.:- 123'%\\+=<>", max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_parse_program_total(self, text):
+        try:
+            clauses = parse_program(text)
+            assert isinstance(clauses, list)
+        except ParseError:
+            pass
+
+    @given(st.text(alphabet="abXY,()123+-*", max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_parse_term_total(self, text):
+        try:
+            parse_term(text)
+        except ParseError:
+            pass

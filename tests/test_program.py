@@ -1,0 +1,124 @@
+"""Unit tests for the indexed knowledge base."""
+
+import pytest
+
+from repro.logic import Atom, Program, Struct, Var, parse_clause, parse_term
+
+
+def test_from_source_counts(figure1):
+    assert len(figure1) == 12
+    assert ("gf", 2) in figure1.predicates
+    assert ("f", 2) in figure1.predicates
+
+
+def test_clause_ids_stable_after_retract(figure1):
+    ids = figure1.clause_ids()
+    figure1.retract(ids[0])
+    assert len(figure1) == 11
+    # remaining ids unchanged
+    assert figure1.clause_ids() == ids[1:]
+
+
+def test_clauses_for_preserves_order(figure1):
+    cids = figure1.clauses_for(("f", 2))
+    heads = [str(figure1.clause(c).head) for c in cids]
+    assert heads == [
+        "f(curt, elain)",
+        "f(sam, larry)",
+        "f(dan, pat)",
+        "f(larry, den)",
+        "f(pat, john)",
+        "f(larry, doug)",
+    ]
+
+
+def test_first_arg_indexing_filters(figure1):
+    goal = parse_term("f(sam, Y)")
+    cands = figure1.candidates(goal)
+    assert len(cands) == 1
+    assert str(figure1.clause(cands[0]).head) == "f(sam, larry)"
+
+
+def test_unbound_first_arg_returns_all(figure1):
+    goal = parse_term("f(X, Y)")
+    assert len(figure1.candidates(goal)) == 6
+
+
+def test_indexing_includes_var_headed_clauses():
+    p = Program.from_source(
+        """
+        p(a, 1).
+        p(X, 2).
+        p(b, 3).
+        """
+    )
+    cands = p.candidates(parse_term("p(a, N)"))
+    # the a-clause and the variable-headed clause, in source order
+    assert [str(p.clause(c).head) for c in cands] == ["p(a, 1)", "p(X, 2)"]
+
+
+def test_candidates_for_unknown_predicate(figure1):
+    assert figure1.candidates(parse_term("nosuch(a)")) == []
+
+
+def test_add_source_appends():
+    p = Program.from_source("a.")
+    ids = p.add_source("b. c :- b.")
+    assert len(ids) == 2
+    assert len(p) == 3
+    assert len(p.rules()) == 1
+
+
+def test_add_clause_indexes_first_arg():
+    p = Program()
+    p.add(parse_clause("f(k1, v1)."))
+    p.add(parse_clause("f(k2, v2)."))
+    assert len(p.candidates(parse_term("f(k2, X)"))) == 1
+
+
+def test_struct_first_arg_key():
+    p = Program.from_source(
+        """
+        q(pair(a,b), 1).
+        q(pair(c,d), 2).
+        q(single(a), 3).
+        """
+    )
+    # struct key indexes by functor/arity, so both pair clauses match
+    cands = p.candidates(parse_term("q(pair(X,Y), N)"))
+    assert len(cands) == 2
+
+
+def test_int_first_arg_key():
+    p = Program.from_source("r(1, one). r(2, two).")
+    assert len(p.candidates(parse_term("r(2, W)"))) == 1
+
+
+def test_facts_and_rules_split(figure1):
+    assert len(figure1.facts()) == 10
+    assert len(figure1.rules()) == 2
+
+
+def test_listing_roundtrips(figure1):
+    listing = figure1.listing()
+    p2 = Program.from_source(listing)
+    assert len(p2) == len(figure1)
+    assert p2.listing() == listing
+
+
+def test_retracted_clause_not_in_candidates(figure1):
+    goal = parse_term("f(sam, Y)")
+    cid = figure1.candidates(goal)[0]
+    figure1.retract(cid)
+    assert figure1.candidates(goal) == []
+
+
+def test_index_stats_track_lookups(figure1):
+    figure1.candidates(parse_term("f(sam, Y)"))
+    figure1.candidates(parse_term("f(X, Y)"))
+    assert figure1.stats.lookups == 2
+    assert figure1.stats.first_arg_hits == 1
+
+
+def test_repr(figure1):
+    assert "12 clauses" in repr(figure1)

@@ -1,0 +1,100 @@
+"""Property test: all execution mechanisms agree on random programs.
+
+Generates small stratified programs (facts at tier 0, rules whose
+bodies only call strictly lower tiers — so no recursion, guaranteed
+termination) plus a random query, then checks that the depth-first
+baseline, all three OR-tree strategies, the B-LOG engine, and the
+AND/OR process model compute identical answer *sets*.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BLogConfig, BLogEngine
+from repro.logic import Program, Solver
+from repro.ortree import AndOrEvaluator, OrTree, run_strategy
+
+CONSTANTS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def stratified_programs(draw):
+    """A program of tier-0 facts (p0, q0) and tier-1/2 rules."""
+    lines = []
+    # tier 0: binary facts
+    for pred in ("p0", "q0"):
+        n_facts = draw(st.integers(1, 5))
+        for _ in range(n_facts):
+            x = draw(st.sampled_from(CONSTANTS))
+            y = draw(st.sampled_from(CONSTANTS))
+            lines.append(f"{pred}({x},{y}).")
+    # tier 1: one or two rules over tier 0
+    body_shapes = [
+        "p0(X,Y)",
+        "q0(X,Y)",
+        "p0(X,Z), q0(Z,Y)",
+        "p0(X,Z), p0(Z,Y)",
+        "q0(X,Z), p0(Z,Y)",
+    ]
+    n_rules = draw(st.integers(1, 2))
+    for i in range(n_rules):
+        body = draw(st.sampled_from(body_shapes))
+        lines.append(f"r1(X,Y) :- {body}.")
+    # tier 2: one rule over tier 1 and tier 0
+    shape2 = draw(
+        st.sampled_from(["r1(X,Y)", "r1(X,Z), p0(Z,Y)", "r1(X,Z), r1(Z,Y)"])
+    )
+    lines.append(f"s2(X,Y) :- {shape2}.")
+    query_pred = draw(st.sampled_from(["p0", "q0", "r1", "s2"]))
+    query_shape = draw(
+        st.sampled_from(["{p}(X, Y)", "{p}(a, Y)", "{p}(X, b)"])
+    ).format(p=query_pred)
+    return "\n".join(lines), query_shape
+
+
+def answer_set(answers, keys=("X", "Y")):
+    out = set()
+    for a in answers:
+        out.add(tuple(str(a[k]) for k in keys if k in a))
+    return out
+
+
+@given(stratified_programs())
+@settings(max_examples=40, deadline=None)
+def test_all_engines_agree(case):
+    source, query = case
+    program = Program.from_source(source)
+    baseline = Solver(program, max_depth=32).solve_all(query)
+    expected = answer_set(
+        [{k: v for k, v in s.bindings.items()} for s in baseline]
+    )
+    # OR-tree strategies
+    for name in ("depth-first", "breadth-first", "best-first"):
+        tree = OrTree(program, query, max_depth=32)
+        res = run_strategy(name, tree)
+        got = answer_set([tree.solution_answer(s) for s in res.solutions])
+        assert got == expected, (name, source, query)
+    # B-LOG engine with live learning
+    eng = BLogEngine(program, BLogConfig(max_depth=32))
+    assert answer_set(eng.query(query).answers) == expected, (source, query)
+    # AND/OR process model
+    ao = AndOrEvaluator(program, max_depth=32).run(query)
+    assert answer_set(ao.answers) == expected, (source, query)
+
+
+@given(stratified_programs())
+@settings(max_examples=20, deadline=None)
+def test_learning_never_loses_answers(case):
+    """Three consecutive learned queries keep the same answer set."""
+    source, query = case
+    program = Program.from_source(source)
+    expected = answer_set(
+        [
+            {k: v for k, v in s.bindings.items()}
+            for s in Solver(program, max_depth=32).solve_all(query)
+        ]
+    )
+    eng = BLogEngine(program, BLogConfig(n=8, a=16, max_depth=32))
+    eng.begin_session()
+    for _ in range(3):
+        assert answer_set(eng.query(query).answers) == expected
+    eng.end_session()

@@ -1,0 +1,51 @@
+"""Unit tests for the benchmark reporting helpers."""
+
+from repro.reporting import format_series, format_table, print_table
+
+
+def test_format_table_alignment():
+    rows = [
+        {"strategy": "depth-first", "expansions": 10, "speedup": 1.0},
+        {"strategy": "best-first", "expansions": 3, "speedup": 3.333},
+    ]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("strategy")
+    assert "depth-first" in lines[2]
+    assert "3.333" in lines[3]
+
+
+def test_format_table_column_subset():
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+def test_format_table_empty():
+    assert format_table([]) == "(no rows)"
+
+
+def test_float_formatting():
+    rows = [{"x": float("inf"), "y": 12345.6, "z": 2.0}]
+    text = format_table(rows)
+    assert "inf" in text
+    assert "12346" in text
+    assert " 2" in text
+
+
+def test_missing_cell_blank():
+    rows = [{"a": 1}, {"a": 2, "b": 3}]
+    text = format_table(rows, columns=["a", "b"])
+    assert text  # renders without KeyError
+
+
+def test_print_table_titled(capsys):
+    print_table("E1", [{"k": 1}])
+    out = capsys.readouterr().out
+    assert "=== E1 ===" in out
+    assert "k" in out
+
+
+def test_format_series():
+    s = format_series("speedup", [1, 2, 4], [1.0, 1.9, 3.5])
+    assert s == "speedup: 1->1 2->1.900 4->3.500"

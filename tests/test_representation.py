@@ -1,0 +1,60 @@
+"""Tests for the structure-sharing vs copying cost analysis."""
+
+import pytest
+
+from repro.ortree import OrTree
+from repro.ortree.representation import representation_costs
+from repro.workloads import comb_tree, family_program, scaled_family
+
+
+def developed(program, query, max_depth=64):
+    tree = OrTree(program, query, max_depth=max_depth)
+    tree.expand_all()
+    return tree
+
+
+class TestCosts:
+    def test_counts_every_non_root_node(self):
+        tree = developed(family_program(), "gf(sam, G)")
+        costs = representation_costs(tree)
+        assert costs.nodes == len(tree.nodes) - 1
+
+    def test_sharing_saves_memory(self):
+        fam = scaled_family(4, 2, 2, seed=50)
+        tree = developed(fam.program, f"anc({fam.roots[0]}, D)")
+        costs = representation_costs(tree)
+        assert costs.share_memory_words < costs.copy_memory_words
+        assert costs.memory_ratio > 1.0
+
+    def test_sharing_costs_access(self):
+        """On deep chains, dereference chains make sharing touch more
+        cells than direct copied access."""
+        wl = comb_tree(teeth=2, tooth_depth=12)
+        tree = developed(wl.program, wl.query, max_depth=32)
+        costs = representation_costs(tree)
+        assert costs.share_access_touches > costs.copy_access_touches
+
+    def test_deeper_trees_widen_access_gap(self):
+        shallow = developed(comb_tree(2, 3).program, "l0(W)", 16)
+        deep = developed(comb_tree(2, 12).program, "l0(W)", 32)
+        r_shallow = representation_costs(shallow).access_ratio
+        r_deep = representation_costs(deep).access_ratio
+        assert r_deep > r_shallow
+
+    def test_contention_cells_grow_with_depth(self):
+        wl = comb_tree(teeth=2, tooth_depth=10)
+        tree = developed(wl.program, wl.query, max_depth=32)
+        costs = representation_costs(tree)
+        assert costs.shared_frame_cells > 0
+
+    def test_copy_memory_matches_tree_accounting(self):
+        tree = developed(family_program(), "gf(sam, G)")
+        costs = representation_costs(tree)
+        assert costs.copy_memory_words == tree.words_copied
+
+    def test_empty_tree(self):
+        tree = OrTree(family_program(), "gf(sam, G)")
+        costs = representation_costs(tree)
+        assert costs.nodes == 0
+        assert costs.memory_ratio == 1.0
+        assert costs.access_ratio == 1.0

@@ -1,0 +1,109 @@
+"""Tests for clause retraction through the database and SPD compaction."""
+
+import pytest
+
+from repro.linkdb import LinkedDatabase
+from repro.logic import Program, Solver
+from repro.spd import SemanticPagingDisk
+from repro.workloads import family_program
+
+
+@pytest.fixture
+def db():
+    return LinkedDatabase(family_program())
+
+
+def fact_id(db, text):
+    for b in db:
+        if str(b.clause) == text:
+            return b.block_id
+    raise KeyError(text)
+
+
+class TestRetraction:
+    def test_block_dies(self, db):
+        cid = fact_id(db, "f(larry, den).")
+        before = len(db)
+        db.retract_clause(cid)
+        assert len(db) == before - 1
+        assert cid in db.dead
+        assert all(b.block_id != cid for b in db)
+
+    def test_pointers_to_dead_block_unlinked(self, db):
+        cid = fact_id(db, "f(larry, den).")
+        rule0 = db.block(0)
+        assert any(p.target == cid for p in rule0.pointers)
+        db.retract_clause(cid)
+        assert all(p.target != cid for p in rule0.pointers)
+
+    def test_queries_reflect_retraction(self, db):
+        cid = fact_id(db, "f(larry, den).")
+        db.retract_clause(cid)
+        solver = Solver(db.program)
+        got = [str(s["G"]) for s in solver.solve_all("gf(sam, G)")]
+        assert got == ["doug"]
+
+    def test_block_ids_stay_stable(self, db):
+        cid = fact_id(db, "f(dan, pat).")
+        keep = fact_id(db, "f(larry, doug).")
+        db.retract_clause(cid)
+        assert db.block(keep).block_id == keep
+
+    def test_rebuild_preserves_dead_set(self, db):
+        cid = fact_id(db, "f(dan, pat).")
+        db.retract_clause(cid)
+        db.rebuild()
+        assert cid in db.dead
+        assert all(p.target != cid for b in db for p in b.pointers)
+
+    def test_heads_updated(self, db):
+        cid = fact_id(db, "m(peg, den).")
+        db.retract_clause(cid)
+        assert cid not in db.blocks_for(("m", 2))
+
+
+class TestSpdCompaction:
+    def test_compact_reclaims_records(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        cid = fact_id(db, "f(larry, den).")
+        db.retract_clause(cid)
+        dropped = spd.compact()
+        assert dropped == 1
+        assert cid not in spd.addresses
+        assert set(spd.addresses) == {b.block_id for b in db}
+
+    def test_compact_noop_when_all_live(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        assert spd.compact() == 0
+
+    def test_pages_still_correct_after_compaction(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        cid = fact_id(db, "f(larry, den).")
+        db.retract_clause(cid)
+        spd.compact()
+        # stale record pointers to the dead block resolve to nothing, so
+        # semantic pages simply exclude it
+        page = spd.page_in([0], radius=2)
+        assert cid not in page.blocks
+
+    def test_compact_invalidates_caches(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        spd.sps[0].load_cylinder(0)
+        db.retract_clause(fact_id(db, "f(dan, pat)."))
+        spd.compact()
+        assert all(sp.cached_cylinder is None for sp in spd.sps)
+
+
+class TestEndToEnd:
+    def test_retract_compact_requery(self):
+        program = family_program()
+        db = LinkedDatabase(program)
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        cid = fact_id(db, "f(larry, doug).")
+        db.retract_clause(cid)
+        spd.compact()
+        from repro.core import BLogConfig, BLogEngine
+
+        eng = BLogEngine(program, BLogConfig(max_depth=32))
+        res = eng.query("gf(sam, G)")
+        assert [str(a["G"]) for a in res.answers] == ["den"]

@@ -1,0 +1,126 @@
+"""Property tests on search-level invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Program, Solver
+from repro.ortree import ArcKey, OrTree, best_first, breadth_first, depth_first
+from repro.workloads import synthetic_tree
+
+
+@st.composite
+def weighted_trees(draw):
+    """A synthetic tree plus a deterministic non-negative weight function."""
+    branching = draw(st.integers(2, 3))
+    depth = draw(st.integers(2, 3))
+    dead = draw(st.sampled_from([0.0, 0.34]))
+    seed = draw(st.integers(0, 10))
+    scale = draw(st.integers(0, 5))
+
+    def weight_fn(key: ArcKey) -> float:
+        if key.kind == "builtin":
+            return 0.0
+        return float((hash(key.key) % 7) * scale % 11)
+
+    wl = synthetic_tree(branching, depth, dead, seed=seed)
+    return wl, weight_fn
+
+
+class TestBestFirstProperties:
+    @given(weighted_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_first_solution_has_minimal_bound(self, case):
+        """With non-negative monotone weights, best-first pops the
+        minimum-bound solution first."""
+        wl, weight_fn = case
+        tree = OrTree(wl.program, wl.query, weight_fn=weight_fn, max_depth=16)
+        res = best_first(tree, max_solutions=None)
+        if res.solutions:
+            first = res.solution_bounds[0]
+            assert first == min(res.solution_bounds)
+
+    @given(weighted_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_solutions_pop_in_bound_order(self, case):
+        wl, weight_fn = case
+        tree = OrTree(wl.program, wl.query, weight_fn=weight_fn, max_depth=16)
+        res = best_first(tree)
+        assert res.solution_bounds == sorted(res.solution_bounds)
+
+    @given(weighted_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_bounds_monotone_along_every_chain(self, case):
+        wl, weight_fn = case
+        tree = OrTree(wl.program, wl.query, weight_fn=weight_fn, max_depth=16)
+        tree.expand_all()
+        for node in tree.nodes:
+            if node.parent is not None:
+                assert node.bound >= tree.node(node.parent).bound - 1e-12
+
+    @given(weighted_trees())
+    @settings(max_examples=20, deadline=None)
+    def test_all_strategies_same_solution_count(self, case):
+        wl, weight_fn = case
+        counts = set()
+        for strat in (depth_first, breadth_first, best_first):
+            tree = OrTree(wl.program, wl.query, weight_fn=weight_fn, max_depth=16)
+            counts.add(len(strat(tree).solutions))
+        assert len(counts) == 1
+
+    @given(weighted_trees())
+    @settings(max_examples=20, deadline=None)
+    def test_arc_key_policy_does_not_change_answers(self, case):
+        wl, _ = case
+        results = []
+        for policy in ("pointer", "goal"):
+            tree = OrTree(wl.program, wl.query, arc_key_policy=policy, max_depth=16)
+            res = depth_first(tree)
+            results.append(
+                sorted(str(tree.solution_answer(s)["W"]) for s in res.solutions)
+            )
+        assert results[0] == results[1]
+
+
+class TestPruningProperties:
+    @given(weighted_trees())
+    @settings(max_examples=20, deadline=None)
+    def test_pruned_first_solution_still_optimal(self, case):
+        """Incumbent pruning never removes the best solution."""
+        wl, weight_fn = case
+        t1 = OrTree(wl.program, wl.query, weight_fn=weight_fn, max_depth=16)
+        plain = best_first(t1, max_solutions=1)
+        t2 = OrTree(wl.program, wl.query, weight_fn=weight_fn, max_depth=16)
+        pruned = best_first(t2, max_solutions=1, prune_bound=True)
+        if plain.solutions:
+            assert pruned.solutions
+            assert pruned.solution_bounds[0] == pytest.approx(
+                plain.solution_bounds[0]
+            )
+
+    @given(weighted_trees())
+    @settings(max_examples=15, deadline=None)
+    def test_pruning_never_increases_expansions(self, case):
+        wl, weight_fn = case
+        t1 = OrTree(wl.program, wl.query, weight_fn=weight_fn, max_depth=16)
+        plain = best_first(t1)
+        t2 = OrTree(wl.program, wl.query, weight_fn=weight_fn, max_depth=16)
+        pruned = best_first(t2, prune_bound=True)
+        assert pruned.expansions <= plain.expansions
+
+
+class TestSelectionRuleProperties:
+    @given(weighted_trees(), st.sampled_from(["most-bound", "fewest-candidates"]))
+    @settings(max_examples=20, deadline=None)
+    def test_selection_rules_preserve_answers(self, case, rule):
+        wl, _ = case
+        base_tree = OrTree(wl.program, wl.query, max_depth=16)
+        base = sorted(
+            str(base_tree.solution_answer(s)["W"])
+            for s in depth_first(base_tree).solutions
+        )
+        tree = OrTree(wl.program, wl.query, selection_rule=rule, max_depth=16)
+        got = sorted(
+            str(tree.solution_answer(s)["W"])
+            for s in depth_first(tree).solutions
+        )
+        assert got == base

@@ -1,0 +1,118 @@
+"""Tests for alternative computation rules (goal selection)."""
+
+import pytest
+
+from repro.logic import Program, Solver
+from repro.ortree import OrTree, depth_first
+from repro.workloads import family_program, synthetic_tree
+
+
+def answers(tree, res, var):
+    return sorted(str(tree.solution_answer(s)[var]) for s in res.solutions)
+
+
+class TestValidation:
+    def test_unknown_rule_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            OrTree(figure1, "gf(sam, G)", selection_rule="random")
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("rule", ["leftmost", "most-bound", "fewest-candidates"])
+    def test_figure1_answers_preserved(self, figure1, rule):
+        tree = OrTree(figure1, "gf(sam, G)", selection_rule=rule, max_depth=32)
+        res = depth_first(tree)
+        assert answers(tree, res, "G") == ["den", "doug"]
+
+    @pytest.mark.parametrize("rule", ["most-bound", "fewest-candidates"])
+    def test_synthetic_answers_preserved(self, rule):
+        wl = synthetic_tree(3, 3, 0.34, seed=44)
+        base = sorted(
+            str(s["W"]) for s in Solver(wl.program, max_depth=32).solve_all(wl.query)
+        )
+        tree = OrTree(wl.program, wl.query, selection_rule=rule, max_depth=32)
+        res = depth_first(tree)
+        assert answers(tree, res, "W") == base
+
+    @pytest.mark.parametrize("rule", ["most-bound", "fewest-candidates"])
+    def test_builtins_still_safe(self, rule):
+        """Arithmetic producers stay ahead of their consumers even when
+        user goals are reordered around them."""
+        p = Program.from_source(
+            """
+            fact(0, 1).
+            fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.
+            """
+        )
+        tree = OrTree(p, "fact(5, F)", selection_rule=rule, max_depth=128)
+        res = depth_first(tree)
+        assert answers(tree, res, "F") == ["120"]
+
+    @pytest.mark.parametrize("rule", ["most-bound", "fewest-candidates"])
+    def test_negation_order_respected(self, rule):
+        p = Program.from_source(
+            """
+            man(sam). man(curt).
+            married(curt).
+            bachelor(X) :- man(X), \\+ married(X).
+            """
+        )
+        tree = OrTree(p, "bachelor(X)", selection_rule=rule, max_depth=32)
+        res = depth_first(tree)
+        assert answers(tree, res, "X") == ["sam"]
+
+
+class TestSelectionEffects:
+    def test_fewest_candidates_prefers_selective_goal(self, figure1):
+        """In f(X,Y), m(Y,Z): m has 4 clauses vs f's 6, so
+        fewest-candidates resolves m first."""
+        tree = OrTree(figure1, "f(X, Y), m(Y, Z)", selection_rule="fewest-candidates")
+        tree.expand(0)
+        # the root's children resolve the m goal: their arcs point at m facts
+        child = tree.node(tree.root.children[0])
+        assert child.arc.key.key[2] in figure1.clauses_for(("m", 2))
+
+    def test_most_bound_prefers_instantiated_goal(self, figure1):
+        """In f(X,Y), f(sam,W): the second goal is half ground."""
+        tree = OrTree(figure1, "f(X, Y), f(sam, W)", selection_rule="most-bound")
+        tree.expand(0)
+        child = tree.node(tree.root.children[0])
+        # resolved goal was f(sam, W) -> only one candidate (indexing)
+        assert len(tree.root.children) == 1
+
+    def test_generate_test_work_reduction(self):
+        """Classic generate-and-test: selecting the selective test first
+        shrinks the tree."""
+        lines = [f"gen({i})." for i in range(12)] + ["good(7)."]
+        lines.append("pick(X) :- gen(X), good(X).")
+        p = Program.from_source("\n".join(lines))
+
+        def nodes(rule):
+            tree = OrTree(p, "pick(X)", selection_rule=rule, max_depth=16)
+            depth_first(tree)
+            return len(tree.nodes)
+
+        assert nodes("fewest-candidates") < nodes("leftmost")
+
+    def test_leftmost_untouched_by_default(self, figure1):
+        t1 = OrTree(figure1, "f(X, Y), m(Y, Z)")
+        t2 = OrTree(figure1, "f(X, Y), m(Y, Z)", selection_rule="leftmost")
+        depth_first(t1)
+        depth_first(t2)
+        assert len(t1.nodes) == len(t2.nodes)
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("rule", ["leftmost", "most-bound", "fewest-candidates"])
+    def test_engine_selection_rule_preserves_answers(self, figure1, rule):
+        from repro.core import BLogConfig, BLogEngine
+
+        eng = BLogEngine(figure1, BLogConfig(selection_rule=rule, max_depth=32))
+        res = eng.query("gf(sam, G)")
+        assert sorted(str(a["G"]) for a in res.answers) == ["den", "doug"]
+
+    def test_config_validation(self):
+        from repro.core import BLogConfig
+
+        with pytest.raises(ValueError):
+            BLogConfig(selection_rule="chaotic")

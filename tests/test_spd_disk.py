@@ -1,0 +1,158 @@
+"""Unit tests for the search processor / track / cache layer (fig 6)."""
+
+import pytest
+
+from repro.spd import Record, SearchProcessor, SpdCosts, Track
+
+
+def rec(bid, words=4, pointers=(), payload=("p", 1)):
+    return Record(block_id=bid, words=words, pointers=tuple(pointers), payload=payload)
+
+
+@pytest.fixture
+def sp():
+    t0 = Track(records=[rec(0, pointers=[("x", 2, 1.0)]), rec(1)])
+    t1 = Track(records=[rec(2, pointers=[("y", 0, 2.0)]), rec(3)])
+    return SearchProcessor(0, [t0, t1])
+
+
+class TestCache:
+    def test_load_costs_seek_plus_revolution(self, sp):
+        cost = sp.load_cylinder(0)
+        assert cost == sp.costs.seek_base + sp.costs.revolution_cycles
+        assert sp.cached_cylinder == 0
+
+    def test_reload_same_cylinder_free(self, sp):
+        sp.load_cylinder(0)
+        assert sp.load_cylinder(0) == 0.0
+        assert sp.stats.cache_hits == 1
+
+    def test_switch_cylinder_costs_seek_distance(self):
+        costs = SpdCosts(seek_base=10, seek_per_cylinder=5, revolution_cycles=100)
+        tracks = [Track(records=[rec(i)]) for i in range(4)]
+        sp = SearchProcessor(0, tracks, costs)
+        sp.load_cylinder(0)
+        cost = sp.load_cylinder(3)
+        assert cost == 10 + 5 * 3 + 100
+
+    def test_load_clears_marks(self, sp):
+        sp.load_cylinder(0)
+        sp.search_mark(lambda r: True)
+        sp.load_cylinder(1)
+        assert sp.marks == set()
+
+    def test_bad_cylinder(self, sp):
+        with pytest.raises(IndexError):
+            sp.load_cylinder(9)
+
+    def test_track_words(self):
+        t = Track(records=[rec(0, words=4), rec(1, words=6)])
+        assert t.words == 10
+        assert len(t) == 2
+
+
+class TestSearchMark:
+    def test_marks_matching_records(self, sp):
+        sp.load_cylinder(0)
+        new, cost = sp.search_mark(lambda r: r.block_id == 1)
+        assert new == {1}
+        assert sp.marks == {1}
+        assert cost == sp.costs.cache_search_cycles
+
+    def test_second_search_adds_marks(self, sp):
+        sp.load_cylinder(0)
+        sp.search_mark(lambda r: r.block_id == 0)
+        new, _ = sp.search_mark(lambda r: True)
+        assert new == {1}  # 0 was already marked
+        assert sp.marks == {0, 1}
+
+    def test_no_cache_raises(self, sp):
+        with pytest.raises(RuntimeError):
+            sp.search_mark(lambda r: True)
+
+    def test_marked_records(self, sp):
+        sp.load_cylinder(0)
+        sp.search_mark(lambda r: r.block_id == 0)
+        assert [r.block_id for r in sp.marked_records()] == [0]
+
+
+class TestFollow:
+    def test_follows_in_cache_pointer(self, sp):
+        sp.load_cylinder(1)
+        sp.search_mark(lambda r: r.block_id == 2)
+        # record 2 points at block 0, which is on the other cylinder
+        newly, deferred, _ = sp.follow_marks()
+        assert newly == set()
+        assert deferred == [("y", 0, 2.0)]
+        assert sp.stats.cross_cylinder_pointers == 1
+
+    def test_in_track_follow_marks_target(self):
+        t = Track(records=[rec(0, pointers=[("n", 1, 1.0)]), rec(1)])
+        sp = SearchProcessor(0, [t])
+        sp.load_cylinder(0)
+        sp.search_mark(lambda r: r.block_id == 0)
+        newly, deferred, _ = sp.follow_marks()
+        assert newly == {1}
+        assert deferred == []
+        assert sp.marks == {0, 1}
+
+    def test_name_filter(self):
+        t = Track(
+            records=[rec(0, pointers=[("a", 1, 0.0), ("b", 2, 0.0)]), rec(1), rec(2)]
+        )
+        sp = SearchProcessor(0, [t])
+        sp.load_cylinder(0)
+        sp.search_mark(lambda r: r.block_id == 0)
+        newly, _, _ = sp.follow_marks(name="b")
+        assert {t.records[i].block_id for i in newly} == {2}
+
+    def test_custom_resolver(self):
+        t = Track(records=[rec(0, pointers=[("n", 99, 0.0)])])
+        sp = SearchProcessor(0, [t])
+        sp.load_cylinder(0)
+        sp.search_mark(lambda r: True)
+        newly, deferred, _ = sp.follow_marks(resolve=lambda bid: None)
+        assert newly == set()
+        assert deferred == [("n", 99, 0.0)]
+
+    def test_cost_scales_with_marks(self):
+        t = Track(records=[rec(i) for i in range(10)])
+        sp = SearchProcessor(0, [t])
+        sp.load_cylinder(0)
+        sp.search_mark(lambda r: True)
+        _, _, cost = sp.follow_marks()
+        assert cost == sp.costs.cache_follow_cycles_per_mark * 10
+
+
+class TestUpdate:
+    def test_update_marked_rewrites(self, sp):
+        sp.load_cylinder(0)
+        sp.search_mark(lambda r: r.block_id == 0)
+        sp.update_marked(lambda r: Record(r.block_id, r.words, (), r.payload))
+        assert sp.cache.records[0].pointers == ()
+        assert sp.cache.records[1].pointers == ()  # unmarked record untouched? no:
+        # record 1 had no pointers to begin with
+
+    def test_update_cost(self, sp):
+        sp.load_cylinder(0)
+        sp.search_mark(lambda r: True)
+        cost = sp.update_marked(lambda r: r, words_touched=3)
+        assert cost == sp.costs.cache_update_cycles_per_word * 3 * 2
+
+    def test_no_cache_raises(self, sp):
+        with pytest.raises(RuntimeError):
+            sp.update_marked(lambda r: r)
+
+
+class TestGarbageCollection:
+    def test_compacts_dead_records(self, sp):
+        dropped = sp.garbage_collect(lambda r: r.block_id != 1)
+        assert dropped == 1
+        assert all(
+            r.block_id != 1 for t in sp.tracks for r in t.records
+        )
+
+    def test_invalidates_cache(self, sp):
+        sp.load_cylinder(0)
+        sp.garbage_collect(lambda r: True)
+        assert sp.cached_cylinder is None

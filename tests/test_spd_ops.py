@@ -1,0 +1,198 @@
+"""Unit tests for semantic paging (MIMD mode) and the fixed pager."""
+
+import pytest
+
+import networkx as nx
+
+from repro.linkdb import LinkedDatabase
+from repro.spd import FixedPager, SemanticPagingDisk, database_records
+from repro.workloads import scaled_family
+
+
+@pytest.fixture
+def db(figure1):
+    return LinkedDatabase(figure1)
+
+
+class TestRecords:
+    def test_one_record_per_block(self, db):
+        recs = database_records(db)
+        assert len(recs) == len(db)
+        assert [r.block_id for r in recs] == list(range(len(db)))
+
+    def test_pointers_serialized(self, db):
+        recs = database_records(db)
+        rule0 = recs[0]  # gf rule 1: points at all f/2 facts twice
+        assert len(rule0.pointers) == len(db.block(0).pointers)
+
+    def test_payload_is_indicator(self, db):
+        recs = database_records(db)
+        assert recs[0].payload == ("gf", 2)
+
+
+class TestLayout:
+    def test_all_blocks_addressed(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        assert set(spd.addresses) == set(range(len(db)))
+
+    def test_track_capacity_respected(self, db):
+        spd = SemanticPagingDisk(db, n_sps=1, track_words=64)
+        for sp in spd.sps:
+            for track in sp.tracks:
+                if len(track) > 1:
+                    assert track.words <= 64
+
+    def test_oversized_block_gets_own_track(self):
+        fam = scaled_family(3, 2, 2, seed=0)
+        db = LinkedDatabase(fam.program)
+        spd = SemanticPagingDisk(db, n_sps=1, track_words=8)  # tiny tracks
+        assert set(spd.addresses) == set(range(len(db)))
+
+    def test_striping_over_sps(self, db):
+        spd = SemanticPagingDisk(db, n_sps=3, track_words=32)
+        used_sps = {a.sp for a in spd.addresses.values()}
+        assert len(used_sps) > 1
+
+    def test_invalid_sp_count(self, db):
+        with pytest.raises(ValueError):
+            SemanticPagingDisk(db, n_sps=0)
+
+
+class TestFetch:
+    def test_fetch_loads_needed_tracks_once(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        found, cycles = spd.fetch_blocks([0, 1])
+        assert found == {0, 1}
+        assert cycles > 0
+        # fetching again is free (tracks cached)
+        found2, cycles2 = spd.fetch_blocks([0, 1])
+        assert found2 == {0, 1}
+        assert cycles2 == 0.0
+
+    def test_fetch_unknown_block_ignored(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        found, _ = spd.fetch_blocks([999])
+        assert found == set()
+
+
+class TestPageIn:
+    def test_radius_zero_is_start_set(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        page = spd.page_in([0], radius=0)
+        assert page.blocks == {0}
+
+    def test_radius_one_includes_pointer_targets(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+        page = spd.page_in([0], radius=1)
+        targets = {p.target for p in db.block(0).pointers}
+        assert targets <= page.blocks
+
+    def test_page_matches_graph_ball(self, db):
+        """Semantic page = BFS ball of the pointer graph (the Hamming
+        distance semantics of §6)."""
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=128)
+        g = db.as_graph()
+        for radius in (1, 2):
+            page = spd.page_in([0], radius=radius)
+            ball = {0} | {
+                v
+                for v in g.nodes
+                if nx.has_path(g, 0, v)
+                and nx.shortest_path_length(g, 0, v) <= radius
+            }
+            assert page.blocks == ball
+
+    def test_name_filter_restricts(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+        page = spd.page_in([0], radius=1, name="f")
+        f_targets = {p.target for p in db.block(0).pointers if p.name == "f"}
+        m_targets = {p.target for p in db.block(0).pointers if p.name == "m"}
+        assert f_targets <= page.blocks
+        assert not (m_targets & page.blocks)
+
+    def test_cycles_accumulate(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        page = spd.page_in([0], radius=2)
+        assert page.cycles > 0
+        assert page.track_loads > 0
+
+    def test_unknown_start_block(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        page = spd.page_in([999], radius=1)
+        assert page.blocks == set()
+
+    def test_combined_stats(self, db):
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        spd.page_in([0], radius=1)
+        total = spd.combined_stats()
+        assert total.track_loads >= 1
+        assert total.cycles > 0
+
+
+class TestFixedPager:
+    def test_fault_then_hit(self, db):
+        pager = FixedPager(db, blocks_per_page=4, cache_pages=2)
+        assert pager.touch(0) > 0
+        assert pager.touch(1) == 0.0  # same page
+        assert pager.faults == 1 and pager.hits == 1
+
+    def test_lru_eviction(self, db):
+        pager = FixedPager(db, blocks_per_page=1, cache_pages=2)
+        pager.touch(0)
+        pager.touch(1)
+        pager.touch(2)  # evicts page 0
+        assert pager.touch(0) > 0
+        assert pager.faults == 4
+
+    def test_hit_rate(self, db):
+        pager = FixedPager(db, blocks_per_page=8, cache_pages=4)
+        pager.touch_all([0, 1, 2, 3])
+        assert pager.hit_rate == pytest.approx(0.75)
+
+    def test_bad_parameters(self, db):
+        with pytest.raises(ValueError):
+            FixedPager(db, blocks_per_page=0)
+
+    def test_pointer_chase_semantic_beats_fixed(self):
+        """The headline §6 comparison: chasing pointers across a large
+        database, semantic paging loads far fewer times than a fixed
+        pager whose pages ignore the graph structure."""
+        fam = scaled_family(5, 2, 3, seed=1)
+        db = LinkedDatabase(fam.program)
+        spd = SemanticPagingDisk(db, n_sps=2, track_words=256)
+        page = spd.page_in([0], radius=3)
+        pager = FixedPager(db, blocks_per_page=4, cache_pages=2)
+        pager.touch_all(sorted(page.blocks))
+        # both served the same blocks; compare disk cycles
+        assert page.cycles < pager.cycles
+
+
+class TestLayouts:
+    def test_split_layout_addresses_all_blocks(self, db):
+        spd = SemanticPagingDisk(db, n_sps=4, track_words=64, layout="split")
+        assert set(spd.addresses) == set(range(len(db)))
+
+    def test_split_separates_rules_and_facts(self, db):
+        spd = SemanticPagingDisk(db, n_sps=4, track_words=64, layout="split")
+        rule_sps = {
+            spd.addresses[b.block_id].sp for b in db if not b.is_fact
+        }
+        fact_sps = {spd.addresses[b.block_id].sp for b in db if b.is_fact}
+        assert not (rule_sps & fact_sps)
+
+    def test_split_same_pages_as_unified(self, db):
+        unified = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        split = SemanticPagingDisk(db, n_sps=2, track_words=64, layout="split")
+        for radius in (1, 2):
+            assert (
+                unified.page_in([0], radius=radius).blocks
+                == split.page_in([0], radius=radius).blocks
+            )
+
+    def test_unknown_layout_rejected(self, db):
+        with pytest.raises(ValueError):
+            SemanticPagingDisk(db, layout="scattered")
+
+    def test_split_single_sp_degenerates(self, db):
+        spd = SemanticPagingDisk(db, n_sps=1, track_words=64, layout="split")
+        assert set(spd.addresses) == set(range(len(db)))

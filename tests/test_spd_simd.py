@@ -1,0 +1,103 @@
+"""Unit tests for SIMD-mode multi-SP operation (§6)."""
+
+import pytest
+
+from repro.linkdb import LinkedDatabase
+from repro.spd import SemanticPagingDisk, SimdSpd
+from repro.workloads import scaled_family
+
+
+@pytest.fixture
+def db(figure1):
+    return LinkedDatabase(figure1)
+
+
+class TestGlobalAddressing:
+    def test_all_blocks_addressed(self, db):
+        spd = SimdSpd(db, n_sps=2, track_words=64)
+        assert set(spd.global_address) == set(range(len(db)))
+
+    def test_global_numbers_sequential_within_cylinder(self, db):
+        """Global block number = records above in track + records in
+        earlier tracks of the cylinder."""
+        spd = SimdSpd(db, n_sps=2, track_words=64)
+        for cix, tracks in enumerate(spd.cylinders):
+            expect = 0
+            for track in tracks:
+                for rec in track.records:
+                    addr = spd.global_address[rec.block_id]
+                    assert addr.cylinder == cix
+                    assert addr.global_number == expect
+                    expect += 1
+
+    def test_cylinder_has_n_sps_tracks(self, db):
+        spd = SimdSpd(db, n_sps=3, track_words=64)
+        for tracks in spd.cylinders:
+            assert len(tracks) == 3
+
+    def test_invalid_sp_count(self, db):
+        with pytest.raises(ValueError):
+            SimdSpd(db, n_sps=0)
+
+
+class TestCylinderCache:
+    def test_load_whole_cylinder_one_revolution(self, db):
+        spd = SimdSpd(db, n_sps=4, track_words=32)
+        cost = spd.load_cylinder(0)
+        assert cost == spd.costs.seek_base + spd.costs.revolution_cycles
+        # the cache now holds up to 4 tracks' worth of records
+        assert len(spd.cached_records()) >= 1
+
+    def test_reload_free(self, db):
+        spd = SimdSpd(db, n_sps=2, track_words=64)
+        spd.load_cylinder(0)
+        assert spd.load_cylinder(0) == 0.0
+        assert spd.cache_hits == 1
+
+    def test_bad_cylinder(self, db):
+        spd = SimdSpd(db, n_sps=2, track_words=64)
+        with pytest.raises(IndexError):
+            spd.load_cylinder(99)
+
+
+class TestSimdPageIn:
+    def test_radius_zero(self, db):
+        spd = SimdSpd(db, n_sps=2, track_words=64)
+        page = spd.page_in([0], radius=0)
+        assert page.blocks == {0}
+
+    def test_same_ball_as_mimd(self, db):
+        """SIMD and MIMD modes extract the same semantic page."""
+        mimd = SemanticPagingDisk(db, n_sps=2, track_words=64)
+        simd = SimdSpd(db, n_sps=2, track_words=64)
+        for radius in (1, 2):
+            assert (
+                simd.page_in([0], radius=radius).blocks
+                == mimd.page_in([0], radius=radius).blocks
+            )
+
+    def test_deferred_pointers_batched(self):
+        """Cross-cylinder pointers are saved and served by one load of
+        the target cylinder (the SIMD batching payoff)."""
+        fam = scaled_family(4, 2, 2, seed=2)
+        db = LinkedDatabase(fam.program)
+        spd = SimdSpd(db, n_sps=2, track_words=64)
+        page = spd.page_in([0], radius=3)
+        assert page.blocks  # extracted something
+        assert spd.track_loads <= len(spd.cylinders) * 3  # bounded revisits
+
+    def test_simd_fewer_loads_than_mimd_on_big_pages(self):
+        """One SIMD cylinder load brings in n_sps tracks, so wide pages
+        need fewer loads than MIMD's per-track loads."""
+        fam = scaled_family(5, 2, 3, seed=3)
+        db = LinkedDatabase(fam.program)
+        simd = SimdSpd(db, n_sps=4, track_words=128)
+        mimd = SemanticPagingDisk(db, n_sps=4, track_words=128)
+        sp_page = simd.page_in([0], radius=3)
+        mp_page = mimd.page_in([0], radius=3)
+        assert sp_page.blocks == mp_page.blocks
+        assert simd.track_loads <= mp_page.track_loads
+
+    def test_unknown_start(self, db):
+        spd = SimdSpd(db, n_sps=2, track_words=64)
+        assert spd.page_in([999], radius=2).blocks == set()

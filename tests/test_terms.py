@@ -1,0 +1,171 @@
+"""Unit tests for the term algebra."""
+
+import pytest
+
+from repro.logic import (
+    NIL,
+    Atom,
+    Int,
+    Struct,
+    Var,
+    is_list,
+    list_to_python,
+    make_list,
+    term_depth,
+    term_size,
+    term_vars,
+    variant_of,
+)
+from repro.logic.terms import to_term
+
+
+class TestAtom:
+    def test_equality_by_name(self):
+        assert Atom("sam") == Atom("sam")
+        assert Atom("sam") != Atom("larry")
+
+    def test_hashable(self):
+        assert len({Atom("a"), Atom("a"), Atom("b")}) == 2
+
+    def test_str(self):
+        assert str(Atom("sam")) == "sam"
+
+    def test_indicator(self):
+        assert Atom("true").indicator == ("true", 0)
+
+
+class TestInt:
+    def test_equality(self):
+        assert Int(3) == Int(3)
+        assert Int(3) != Int(4)
+
+    def test_not_equal_to_atom(self):
+        assert Int(3) != Atom("3")
+
+    def test_negative(self):
+        assert str(Int(-5)) == "-5"
+
+    def test_no_indicator(self):
+        with pytest.raises(TypeError):
+            Int(1).indicator
+
+
+class TestVar:
+    def test_fresh_vars_distinct(self):
+        assert Var("X") != Var("X")
+
+    def test_same_id_equal(self):
+        v = Var("X")
+        assert v == Var("X", vid=v.id)
+
+    def test_anonymous_str(self):
+        v = Var("_")
+        assert str(v).startswith("_G")
+
+    def test_named_str(self):
+        assert str(Var("Foo")) == "Foo"
+
+
+class TestStruct:
+    def test_requires_args(self):
+        with pytest.raises(ValueError):
+            Struct("f", [])
+
+    def test_equality_structural(self):
+        a = Struct("f", (Atom("a"), Int(1)))
+        b = Struct("f", (Atom("a"), Int(1)))
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality_functor(self):
+        assert Struct("f", (Atom("a"),)) != Struct("g", (Atom("a"),))
+
+    def test_indicator(self):
+        assert Struct("f", (Atom("a"), Atom("b"))).indicator == ("f", 2)
+
+    def test_str(self):
+        t = Struct("gf", (Atom("sam"), Var("G", vid=999)))
+        assert str(t) == "gf(sam, G)"
+
+    def test_walk_preorder(self):
+        t = Struct("f", (Struct("g", (Atom("a"),)), Atom("b")))
+        names = [getattr(x, "functor", getattr(x, "name", None)) for x in t.walk()]
+        assert names == ["f", "g", "a", "b"]
+
+
+class TestLists:
+    def test_make_and_unmake(self):
+        items = [Int(1), Int(2), Int(3)]
+        lst = make_list(items)
+        assert is_list(lst)
+        assert list_to_python(lst) == items
+
+    def test_empty_list(self):
+        assert make_list([]) == NIL
+        assert list_to_python(NIL) == []
+
+    def test_improper_list_detected(self):
+        improper = make_list([Int(1)], tail=Atom("x"))
+        assert not is_list(improper)
+        with pytest.raises(ValueError):
+            list_to_python(improper)
+
+    def test_str_rendering(self):
+        assert str(make_list([Int(1), Int(2)])) == "[1, 2]"
+
+    def test_str_improper(self):
+        assert str(make_list([Int(1)], tail=Var("T", vid=123))) == "[1|T]"
+
+
+class TestMeasures:
+    def test_term_size(self):
+        t = Struct("f", (Atom("a"), Struct("g", (Var("X"),))))
+        assert term_size(t) == 4
+
+    def test_term_depth(self):
+        assert term_depth(Atom("a")) == 1
+        t = Struct("f", (Struct("g", (Atom("a"),)),))
+        assert term_depth(t) == 3
+
+    def test_term_vars_order_and_dedup(self):
+        x, y = Var("X"), Var("Y")
+        t = Struct("f", (x, y, x))
+        assert term_vars(t) == [x, y]
+
+
+class TestVariantOf:
+    def test_variant_same_structure(self):
+        a = Struct("f", (Var("X"), Var("Y"), Var("X")))
+        # rebuild with consistent sharing
+        x1, y1 = Var("X"), Var("Y")
+        a = Struct("f", (x1, y1, x1))
+        x2, y2 = Var("P"), Var("Q")
+        b = Struct("f", (x2, y2, x2))
+        assert variant_of(a, b)
+
+    def test_not_variant_when_sharing_differs(self):
+        x1, y1 = Var("X"), Var("Y")
+        a = Struct("f", (x1, x1))
+        b = Struct("f", (Var("P"), Var("Q")))
+        assert not variant_of(a, b)
+
+    def test_not_variant_different_atoms(self):
+        assert not variant_of(Atom("a"), Atom("b"))
+
+    def test_atom_variant(self):
+        assert variant_of(Atom("a"), Atom("a"))
+
+
+class TestToTerm:
+    def test_coercions(self):
+        assert to_term("x") == Atom("x")
+        assert to_term(7) == Int(7)
+        t = Atom("y")
+        assert to_term(t) is t
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            to_term(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            to_term(1.5)

@@ -1,0 +1,196 @@
+"""Unit tests for unification and the trailed binding store."""
+
+import pytest
+
+from repro.logic import (
+    Atom,
+    Bindings,
+    Int,
+    Struct,
+    UnifyStats,
+    Var,
+    occurs_in,
+    rename_apart,
+    unify,
+)
+
+
+def test_atom_unifies_with_itself():
+    b = Bindings()
+    assert unify(Atom("a"), Atom("a"), b)
+    assert len(b) == 0
+
+
+def test_atom_clash_fails():
+    assert not unify(Atom("a"), Atom("b"), Bindings())
+
+
+def test_var_binds_to_atom():
+    b = Bindings()
+    x = Var("X")
+    assert unify(x, Atom("a"), b)
+    assert b.walk(x) == Atom("a")
+
+
+def test_symmetric_binding():
+    b = Bindings()
+    x = Var("X")
+    assert unify(Atom("a"), x, b)
+    assert b.walk(x) == Atom("a")
+
+
+def test_var_var_aliasing():
+    b = Bindings()
+    x, y = Var("X"), Var("Y")
+    assert unify(x, y, b)
+    assert unify(x, Atom("k"), b)
+    assert b.walk(y) == Atom("k")
+
+
+def test_struct_recursive():
+    b = Bindings()
+    x, y = Var("X"), Var("Y")
+    t1 = Struct("f", (x, Atom("b")))
+    t2 = Struct("f", (Atom("a"), y))
+    assert unify(t1, t2, b)
+    assert b.walk(x) == Atom("a")
+    assert b.walk(y) == Atom("b")
+
+
+def test_arity_mismatch_fails():
+    t1 = Struct("f", (Atom("a"),))
+    t2 = Struct("f", (Atom("a"), Atom("b")))
+    assert not unify(t1, t2, Bindings())
+
+
+def test_functor_mismatch_fails():
+    assert not unify(
+        Struct("f", (Atom("a"),)), Struct("g", (Atom("a"),)), Bindings()
+    )
+
+
+def test_int_unification():
+    b = Bindings()
+    assert unify(Int(3), Int(3), b)
+    assert not unify(Int(3), Int(4), b)
+
+
+def test_occurs_check_off_allows_cyclic():
+    b = Bindings()
+    x = Var("X")
+    assert unify(x, Struct("f", (x,)), b)  # standard Prolog behaviour
+
+
+def test_occurs_check_on_rejects_cyclic():
+    b = Bindings()
+    x = Var("X")
+    assert not unify(x, Struct("f", (x,)), b, occurs_check=True)
+
+
+def test_occurs_in_through_bindings():
+    b = Bindings()
+    x, y = Var("X"), Var("Y")
+    unify(y, Struct("g", (x,)), b)
+    assert occurs_in(x, y, b)
+
+
+def test_trail_undo():
+    b = Bindings()
+    x, y = Var("X"), Var("Y")
+    unify(x, Atom("a"), b)
+    mark = b.mark()
+    unify(y, Atom("b"), b)
+    assert y in b
+    b.undo_to(mark)
+    assert y not in b
+    assert x in b
+
+
+def test_undo_restores_failed_partial_unification():
+    b = Bindings()
+    x, y = Var("X"), Var("Y")
+    t1 = Struct("f", (x, y, Atom("clash")))
+    t2 = Struct("f", (Atom("a"), Atom("b"), Atom("other")))
+    mark = b.mark()
+    assert not unify(t1, t2, b)
+    b.undo_to(mark)
+    assert len(b) == 0
+
+
+def test_resolve_rebuilds():
+    b = Bindings()
+    x = Var("X")
+    unify(x, Struct("f", (Atom("a"),)), b)
+    t = Struct("g", (x, x))
+    resolved = b.resolve(t)
+    assert resolved == Struct(
+        "g", (Struct("f", (Atom("a"),)), Struct("f", (Atom("a"),)))
+    )
+
+
+def test_resolve_deep_chain():
+    b = Bindings()
+    x, y, z = Var("X"), Var("Y"), Var("Z")
+    unify(x, y, b)
+    unify(y, z, b)
+    unify(z, Atom("end"), b)
+    assert b.resolve(x) == Atom("end")
+
+
+def test_double_bind_raises():
+    b = Bindings()
+    x = Var("X")
+    b.bind(x, Atom("a"))
+    with pytest.raises(ValueError):
+        b.bind(x, Atom("b"))
+
+
+def test_bindings_copy_is_independent():
+    b = Bindings()
+    x = Var("X")
+    unify(x, Atom("a"), b)
+    c = b.copy()
+    y = Var("Y")
+    unify(y, Atom("b"), c)
+    assert y not in b
+    assert x in c
+
+
+def test_stats_counters():
+    stats = UnifyStats()
+    b = Bindings(stats)
+    unify(Var("X"), Atom("a"), b)
+    unify(Atom("a"), Atom("b"), b)
+    assert stats.attempts == 2
+    assert stats.successes == 1
+    assert stats.bind_ops == 1
+
+
+def test_rename_apart_fresh_and_consistent():
+    x, y = Var("X"), Var("Y")
+    t = Struct("f", (x, y, x))
+    mapping = {}
+    renamed = rename_apart(t, mapping)
+    assert isinstance(renamed, Struct)
+    rx, ry, rx2 = renamed.args
+    assert rx == rx2  # sharing preserved
+    assert rx != x and ry != y  # fresh ids
+    assert rx.name == "X"  # display name kept
+
+
+def test_rename_apart_shared_mapping_across_terms():
+    x = Var("X")
+    mapping = {}
+    a = rename_apart(Struct("f", (x,)), mapping)
+    b = rename_apart(Struct("g", (x,)), mapping)
+    assert a.args[0] == b.args[0]
+
+
+def test_unify_deep_wide_terms():
+    b = Bindings()
+    n = 200
+    vars_ = [Var(f"V{i}") for i in range(n)]
+    t1 = Struct("f", tuple(vars_))
+    t2 = Struct("f", tuple(Int(i) for i in range(n)))
+    assert unify(t1, t2, b)
+    assert b.walk(vars_[150]) == Int(150)

@@ -1,0 +1,209 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.logic import Solver
+from repro.workloads import (
+    FIGURE1_QUERY,
+    family_program,
+    grid_program,
+    map_coloring_program,
+    nqueens_program,
+    nqueens_query,
+    query_sequence,
+    random_digraph_program,
+    scaled_family,
+    solve_nqueens,
+    synthetic_tree,
+    comb_tree,
+)
+
+
+class TestFamily:
+    def test_figure1_counts(self):
+        p = family_program()
+        assert len(p.facts()) == 10
+        assert len(p.rules()) == 2
+
+    def test_figure1_query(self):
+        values = Solver(family_program()).solve_all(FIGURE1_QUERY)
+        assert [str(s["G"]) for s in values] == ["den", "doug"]
+
+    def test_scaled_family_deterministic(self):
+        a = scaled_family(4, 2, 2, seed=7)
+        b = scaled_family(4, 2, 2, seed=7)
+        assert a.source == b.source
+
+    def test_scaled_family_different_seeds(self):
+        a = scaled_family(4, 2, 2, seed=1)
+        b = scaled_family(4, 2, 2, seed=2)
+        assert a.source != b.source
+
+    def test_every_child_has_parents(self):
+        fam = scaled_family(4, 3, 2, seed=0)
+        for gen in fam.generations[1:]:
+            for child in gen:
+                assert child in fam.fathers
+                assert child in fam.mothers
+
+    def test_anc_queries_solvable(self):
+        fam = scaled_family(4, 2, 2, seed=0)
+        solver = Solver(fam.program, max_depth=64)
+        sols = solver.solve_all(f"anc({fam.roots[0]}, D)")
+        assert len(sols) > 0
+
+    def test_sib_rule(self):
+        fam = scaled_family(3, 2, 2, seed=0)
+        solver = Solver(fam.program, max_depth=64)
+        child = fam.generations[1][0]
+        sols = solver.solve_all(f"sib({child}, S)")
+        assert len(sols) >= 1  # couples have 2 children
+
+    def test_query_sequence_shape(self):
+        fam = scaled_family(4, 2, 2, seed=0)
+        qs = query_sequence(fam, n_queries=5, predicate="anc", seed=3)
+        assert len(qs) == 5
+        assert all(q.startswith("anc(") for q in qs)
+
+    def test_min_generations(self):
+        with pytest.raises(ValueError):
+            scaled_family(1)
+
+
+class TestSynthetic:
+    def test_solution_count_formula(self):
+        wl = synthetic_tree(branching=3, depth=3, dead_fraction=0.0)
+        sols = Solver(wl.program, max_depth=16).solve_all(wl.query)
+        assert len(sols) == wl.n_solutions == 3 * 3 * 3
+
+    def test_dead_fraction_kills_branches(self):
+        wl = synthetic_tree(branching=4, depth=2, dead_fraction=0.5, seed=1)
+        assert wl.n_dead_branches == 2
+        sols = Solver(wl.program, max_depth=16).solve_all(wl.query)
+        assert len(sols) == wl.n_solutions == 2 * 4
+
+    def test_deterministic(self):
+        a = synthetic_tree(3, 3, 0.34, seed=5)
+        b = synthetic_tree(3, 3, 0.34, seed=5)
+        assert a.source == b.source
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_tree(branching=0)
+        with pytest.raises(ValueError):
+            synthetic_tree(dead_fraction=1.0)
+
+    def test_comb_single_solution(self):
+        wl = comb_tree(teeth=5, tooth_depth=4)
+        sols = Solver(wl.program, max_depth=16).solve_all(wl.query)
+        assert len(sols) == 1
+        assert str(sols[0]["W"]) == "prize"
+
+    def test_comb_solution_tooth_position(self):
+        wl = comb_tree(teeth=5, tooth_depth=3, solution_tooth=0)
+        assert "t0_3(prize)" in wl.source
+
+
+class TestNQueens:
+    @pytest.mark.parametrize("n,count", [(1, 1), (2, 0), (3, 0), (4, 2), (5, 10), (6, 4)])
+    def test_known_solution_counts(self, n, count):
+        assert len(solve_nqueens(n)) == count
+
+    def test_boards_are_valid(self):
+        for board in solve_nqueens(5):
+            assert sorted(board) == [1, 2, 3, 4, 5]  # one queen per row
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    assert abs(board[i] - board[j]) != j - i  # no diagonal
+
+    def test_max_solutions(self):
+        assert len(solve_nqueens(6, max_solutions=1)) == 1
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            nqueens_program(0)
+
+
+class TestGraphs:
+    def test_reachability_matches_networkx(self):
+        gi = random_digraph_program(12, 0.25, seed=4)
+        solver = Solver(gi.program, max_depth=64)
+        got = {str(s["Y"]) for s in solver.solve_all("path(n0, Y)")}
+        assert got == gi.reachable_from("n0")
+
+    def test_acyclic_by_default(self):
+        gi = random_digraph_program(10, 0.3, seed=5)
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(gi.graph)
+
+    def test_cyclic_instances(self):
+        gi = random_digraph_program(6, 0.5, seed=6, acyclic=False)
+        solver = Solver(gi.program, max_depth=24)
+        # terminates thanks to the depth bound
+        sols = solver.solve_all("path(n0, Y)", max_solutions=50)
+        assert isinstance(sols, list)
+
+    def test_grid_corner_to_corner(self):
+        gi = grid_program(3, 3)
+        solver = Solver(gi.program, max_depth=32)
+        assert solver.succeeds("path(c0_0, c2_2)")
+        assert not solver.succeeds("path(c2_2, c0_0)")
+
+    def test_grid_reachability_complete(self):
+        gi = grid_program(3, 2)
+        solver = Solver(gi.program, max_depth=32)
+        got = {str(s["Y"]) for s in solver.solve_all("path(c0_0, Y)")}
+        assert got == gi.reachable_from("c0_0")
+
+
+class TestMapColoring:
+    def test_australia_is_colorable(self):
+        mi = map_coloring_program()
+        solver = Solver(mi.program, max_depth=64)
+        sols = solver.solve_all(mi.query, max_solutions=1)
+        assert len(sols) == 1
+
+    def test_colorings_are_proper(self):
+        mi = map_coloring_program()
+        solver = Solver(mi.program, max_depth=64)
+        for sol in solver.solve_all(mi.query, max_solutions=6):
+            coloring = {r: str(sol[r.upper()]) for r in mi.regions}
+            for a, b in mi.graph.edges:
+                assert coloring[a] != coloring[b]
+
+    def test_two_colors_insufficient(self):
+        mi = map_coloring_program(colors=["red", "green"])
+        solver = Solver(mi.program, max_depth=64)
+        assert not solver.succeeds(mi.query)
+
+    def test_triangle_needs_three(self):
+        tri = [("a", "b"), ("b", "c"), ("a", "c")]
+        mi = map_coloring_program(adjacency=tri)
+        solver = Solver(mi.program, max_depth=32)
+        sols = solver.solve_all(mi.query)
+        assert len(sols) == 6  # 3! proper colorings of a triangle
+
+
+class TestPuzzle:
+    def test_unique_solution(self):
+        from repro.workloads import solve_puzzle
+
+        assert solve_puzzle() == [(2, 9, 1)]
+
+    def test_arithmetic_checks(self):
+        from repro.workloads import solve_puzzle
+
+        for a, b, c in solve_puzzle():
+            assert (10 * a + b) + (10 * b + a) == 100 * c + 10 * a + c
+            assert len({a, b, c}) == 3
+
+    def test_all_engines_agree_on_puzzle(self):
+        from repro.core import BLogConfig, BLogEngine
+        from repro.workloads import puzzle_program, puzzle_query
+
+        eng = BLogEngine(puzzle_program(), BLogConfig(max_depth=64))
+        res = eng.query(puzzle_query())
+        assert len(res.answers) == 1
+        a = res.answers[0]
+        assert (str(a["A"]), str(a["B"]), str(a["C"])) == ("2", "9", "1")
