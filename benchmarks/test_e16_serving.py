@@ -1,0 +1,146 @@
+"""E16 — serving throughput and tail latency vs. worker count.
+
+A closed-loop load generator (8 concurrent clients drawing from a
+shared work queue) pushes a mixed-session stream of family and
+N-queens queries through :class:`repro.service.BLogService` at 1, 2,
+4, and 8 worker lanes, once with the answer cache on and once with it
+bypassed.
+
+Expected shape (§6's communication-cost discussion, the constant
+``D``): with the cache *off*, throughput rises with workers while the
+engine work is the bottleneck and flattens once lane scheduling and
+GIL contention dominate — the software analogue of fork/pickle/transfer
+overhead swallowing the win.  With the cache *on*, the hot closed-loop
+queries collapse to O(µs) lookups and worker count stops mattering at
+all — the serving-layer counterpart of §5's "repeated queries get
+cheap" session claim.
+"""
+
+import asyncio
+
+from conftest import emit
+
+from repro.service import BLogService, QueryRequest
+from repro.workloads import family_program, nqueens_program, nqueens_query
+
+CLIENTS = 8
+TOTAL = 240
+SESSIONS = 12
+
+FAMILY_QUERIES = ["gf(sam, G)", "gf(curt, G)", "f(sam, Y)", "f(larry, Y)"]
+
+
+def build_plan():
+    """(program, query, session) for each request — 5:1 family:nqueens."""
+    nq_query = nqueens_query()
+    plan = []
+    for i in range(TOTAL):
+        session = f"sess{i % SESSIONS}"
+        if i % 6 == 5:
+            plan.append(("queens", nq_query, session))
+        else:
+            plan.append(("family", FAMILY_QUERIES[i % len(FAMILY_QUERIES)], session))
+    return plan
+
+
+async def drive(n_workers: int, use_cache: bool) -> dict:
+    svc = BLogService(
+        {"family": family_program(), "queens": nqueens_program(4)},
+        n_workers=n_workers,
+        max_pending=TOTAL + 8,
+    )
+    await svc.start()
+    plan = build_plan()
+    queue = asyncio.Queue()
+    for i, item in enumerate(plan):
+        queue.put_nowait((f"r{i}", item))
+    failures = []
+
+    async def client():
+        while True:
+            try:
+                rid, (prog, q, sess) = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            resp = await svc.submit(
+                QueryRequest(
+                    prog, q, session=sess, request_id=rid, cache=use_cache,
+                    max_solutions=2,
+                )
+            )
+            if not resp.ok:
+                failures.append((rid, resp.error))
+
+    await asyncio.gather(*[client() for _ in range(CLIENTS)])
+    stats = svc.stats()
+    await svc.stop()
+    assert not failures, failures
+    assert stats["served"] == TOTAL
+    return stats
+
+
+def test_e16_throughput_vs_workers():
+    rows = []
+    for use_cache in (False, True):
+        for n_workers in (1, 2, 4, 8):
+            stats = asyncio.run(drive(n_workers, use_cache))
+            rows.append(
+                {
+                    "cache": "on" if use_cache else "off",
+                    "workers": n_workers,
+                    "served": stats["served"],
+                    "qps": round(stats["throughput_qps"], 0),
+                    "p50_ms": round(stats["p50_ms"], 2),
+                    "p95_ms": round(stats["p95_ms"], 2),
+                    "p95_wait_ms": round(stats["p95_queue_wait_ms"], 2),
+                    "hit_rate": round(stats["cache_hit_rate"], 2),
+                }
+            )
+    emit(
+        "E16",
+        f"closed-loop serving, {TOTAL} mixed-session queries, "
+        f"{CLIENTS} clients (family + 4-queens)",
+        rows,
+    )
+    on = [r for r in rows if r["cache"] == "on"]
+    off = [r for r in rows if r["cache"] == "off"]
+    # cache-on runs serve mostly from the answer cache
+    assert all(r["hit_rate"] > 0.5 for r in on)
+    assert all(r["hit_rate"] == 0.0 for r in off)
+    # the cache beats any amount of engine parallelism on a hot closed loop
+    assert min(r["qps"] for r in on) >= 0.5 * max(r["qps"] for r in off)
+
+
+def test_e16_merge_invalidation_visible_in_serving():
+    """The E16 correctness rider: a session merge bumps the weight
+    generation and the previously hot cache line goes stale."""
+
+    async def body():
+        svc = BLogService({"family": family_program()}, n_workers=2)
+        await svc.start()
+        a = await svc.submit(QueryRequest("family", "gf(sam, G)", session="s0"))
+        b = await svc.submit(QueryRequest("family", "gf(sam, G)", session="s1"))
+        report = await svc.end_session("family", "s0")
+        c = await svc.submit(QueryRequest("family", "gf(sam, G)", session="s1"))
+        stats = svc.stats()
+        await svc.stop()
+        return a, b, report, c, stats
+
+    a, b, report, c, stats = asyncio.run(body())
+    assert a.ok and not a.cached
+    assert b.cached
+    assert report is not None and report.adopted > 0
+    assert not c.cached  # generation bump invalidated the line
+    assert stats["cache"]["stale"] >= 1
+    emit(
+        "E16",
+        "cache invalidation on session merge",
+        [
+            {
+                "event": "fill -> hit -> merge -> stale miss",
+                "adopted_weights": report.adopted,
+                "stale_evictions": stats["cache"]["stale"],
+                "hit_rate": round(stats["cache_hit_rate"], 2),
+            }
+        ],
+    )

@@ -9,6 +9,15 @@ Usage::
 
 Engines: ``prolog`` (depth-first baseline), ``blog`` (adaptive
 best-first, the default), ``machine`` (the simulated parallel machine).
+
+The ``serve`` subcommand runs the concurrent query service instead::
+
+    python -m repro serve --demo --port 8750
+    python -m repro serve --source family.pl --workers 8 --max-pending 128
+    python -m repro serve --demo --selfcheck   # start, query itself, exit
+
+Clients speak one JSON object per line over TCP; see
+:mod:`repro.service`.
 """
 
 from __future__ import annotations
@@ -71,6 +80,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--save-store", metavar="JSON", default=None,
         help="write the learned weight store after the query/session",
+    )
+    sub = p.add_subparsers(dest="command", metavar="command")
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent query service (line-JSON over TCP)",
+        description="Serve one or more programs concurrently: session-"
+        "affinity routing, answer caching, backpressure; see repro.service.",
+    )
+    serve.add_argument(
+        "--source", metavar="FILE", action="append", default=[],
+        help="program file to serve (repeatable; served under its stem)",
+    )
+    serve.add_argument(
+        "--demo", action="store_true",
+        help="serve the paper's figure-1 program as 'family'",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8750, help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker lanes / threads (default 4)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="admission bound on in-flight queries (default 64)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="default per-query deadline (default 30)",
+    )
+    serve.add_argument(
+        "--processors", type=int, default=4, metavar="N",
+        help="machine-engine processor count (default 4)",
+    )
+    serve.add_argument("--n", type=float, default=16.0, help="target bound N (§5)")
+    serve.add_argument("--a", type=int, default=16, help="max chain length A (§5)")
+    serve.add_argument(
+        "--max-depth", type=int, default=256, help="resolution depth bound"
+    )
+    serve.add_argument(
+        "--selfcheck", action="store_true",
+        help="start, run a few queries against itself over TCP, "
+        "print stats, and exit (smoke test)",
     )
     return p
 
@@ -204,9 +256,104 @@ def _repl(args, program: Program, out) -> int:
     return 0
 
 
+def _serve_programs(args) -> dict[str, Program]:
+    """The {name: program} registry a `serve` invocation asked for."""
+    from pathlib import Path
+
+    programs: dict[str, Program] = {}
+    if args.demo:
+        from .workloads import family_program
+
+        programs["family"] = family_program()
+    for path in args.source:
+        with open(path) as fh:
+            programs[Path(path).stem] = Program.from_source(fh.read())
+    return programs
+
+
+async def _selfcheck(service, host: str, port: int, out) -> int:
+    """Connect to our own TCP endpoint and push a few requests through."""
+    import asyncio
+    import json
+
+    reader, writer = await asyncio.open_connection(host, port)
+    from .logic.terms import Struct
+
+    name = next(iter(service.programs))
+    head = next(iter(service.programs[name].program)).head
+    if isinstance(head, Struct):
+        holes = ", ".join(f"SC{i}" for i in range(len(head.args)))
+        probe = f"{head.functor}({holes})"
+    else:
+        probe = str(head)
+    requests = [
+        {"op": "query", "id": "c1", "program": name, "query": probe, "session": "check"},
+        {"op": "query", "id": "c2", "program": name, "query": probe, "session": "check"},
+        {"op": "end_session", "program": name, "session": "check"},
+        {"op": "stats"},
+    ]
+    ok = True
+    for msg in requests:
+        writer.write((json.dumps(msg) + "\n").encode())
+        await writer.drain()
+        reply = json.loads(await reader.readline())
+        ok = ok and bool(reply.get("ok"))
+        print(f"selfcheck {msg.get('op')}: ok={reply.get('ok')}", file=out)
+    writer.close()
+    await writer.wait_closed()
+    return 0 if ok else 1
+
+
+def _run_serve(args, out) -> int:
+    import asyncio
+
+    from .core.config import BLogConfig
+    from .machine import MachineConfig
+    from .service import BLogService, format_stats
+
+    programs = _serve_programs(args)
+    if not programs:
+        print("error: serve needs --source FILE and/or --demo", file=out)
+        return 2
+    service = BLogService(
+        programs,
+        config=BLogConfig(n=args.n, a=args.a, max_depth=args.max_depth),
+        machine=MachineConfig(n_processors=args.processors),
+        n_workers=args.workers,
+        max_pending=args.max_pending,
+        default_timeout=args.timeout,
+    )
+
+    async def run() -> int:
+        server = await service.serve_tcp(args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(
+            f"serving {', '.join(sorted(programs))} on {host}:{port} "
+            f"({args.workers} workers, max {args.max_pending} pending)",
+            file=out,
+        )
+        try:
+            if args.selfcheck:
+                return await _selfcheck(service, host, port, out)
+            async with server:
+                await server.serve_forever()
+            return 0
+        finally:
+            await service.stop()
+            print(format_stats(service.stats()), file=out)
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted.", file=out)
+        return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    if getattr(args, "command", None) == "serve":
+        return _run_serve(args, out)
     if args.nrev is not None:
         from .workloads import run_nrev
 

@@ -100,6 +100,12 @@ def or_parallel_solve(
     """
     tree = OrTree(program, query)
     tree.expand(0)
+    if not tree.root.children:
+        # Zero OR alternatives at the root (unknown predicate, empty
+        # fan-out): there is nothing to distribute, and handing an empty
+        # job list to a pool would be wasted forks at best.  Answer
+        # immediately with an empty result.
+        return ParallelAnswer()
     query_names = {"query": tree.query, "vars": tree.query_vars}
     payloads = []
     direct: list[dict[str, str]] = []
@@ -108,18 +114,24 @@ def or_parallel_solve(
         if node.status is NodeStatus.SOLUTION:
             direct.append({k: str(v) for k, v in tree.solution_answer(node).items()})
             continue
-        payloads.append(
-            pickle.dumps(
-                (
-                    program,
-                    node.goals,
-                    node.answer,
-                    query_names,
-                    max_depth,
-                    max_solutions_per_branch,
+        try:
+            payloads.append(
+                pickle.dumps(
+                    (
+                        program,
+                        node.goals,
+                        node.answer,
+                        query_names,
+                        max_depth,
+                        max_solutions_per_branch,
+                    )
                 )
             )
-        )
+        except Exception as exc:
+            raise ValueError(
+                "OR-parallel branch is not picklable for process transport "
+                f"(branch goals: {', '.join(map(str, node.goals))}): {exc}"
+            ) from exc
     result = ParallelAnswer(branches=len(payloads) + len(direct))
     result.answers.extend(direct)
     result.per_branch_solutions.extend([1] * len(direct))

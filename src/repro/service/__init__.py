@@ -1,0 +1,46 @@
+"""The B-LOG serving layer: concurrent query service over the engine.
+
+``BLogService`` multiplexes many clients over named programs with
+session-affinity routing (one session, one lane, one local weight
+store), a bounded worker pool with deadlines and retry, a
+generation-guarded answer cache, queue-depth backpressure, and
+per-request tracing — in-process via ``await service.submit(...)`` or
+over a line-JSON TCP endpoint via ``serve_tcp``.
+"""
+
+from .admission import AdmissionController, Overloaded
+from .cache import (
+    AnswerCache,
+    cache_key,
+    canonical_query,
+    canonical_query_text,
+    slot_names,
+)
+from .router import SessionRouter, SessionState
+from .server import BLogService, ProgramEntry, QueryRequest, QueryResponse
+from .stats import ServiceStats, TraceEvent, format_stats, percentile
+from .workers import Job, QueryTimeout, WorkerDied, WorkerPool
+
+__all__ = [
+    "AdmissionController",
+    "Overloaded",
+    "AnswerCache",
+    "cache_key",
+    "canonical_query",
+    "canonical_query_text",
+    "slot_names",
+    "SessionRouter",
+    "SessionState",
+    "BLogService",
+    "ProgramEntry",
+    "QueryRequest",
+    "QueryResponse",
+    "ServiceStats",
+    "TraceEvent",
+    "format_stats",
+    "percentile",
+    "Job",
+    "QueryTimeout",
+    "WorkerDied",
+    "WorkerPool",
+]

@@ -1,0 +1,62 @@
+"""Admission control: bounded queue depth with explicit rejection.
+
+A serving system that accepts every request degrades by unbounded
+latency; B-LOG's serving layer instead bounds the number of admitted,
+not-yet-finished queries and rejects the overflow with
+:class:`Overloaded` — the client sees a fast, explicit "try again"
+instead of a slow timeout.  The bound covers queued *and* executing
+requests, so it is the knob that caps total memory held by in-flight
+OR-trees.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Overloaded", "AdmissionController"]
+
+
+class Overloaded(RuntimeError):
+    """The service's pending-query bound is reached; retry later."""
+
+    def __init__(self, pending: int, max_pending: int):
+        super().__init__(
+            f"service overloaded: {pending} queries pending "
+            f"(bound {max_pending}); retry later"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+class AdmissionController:
+    """Counts in-flight queries against a hard bound.
+
+    Used from the event-loop thread only, so plain integers are enough;
+    ``acquire`` never blocks — it admits or raises.
+    """
+
+    def __init__(self, max_pending: int):
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.max_pending = int(max_pending)
+        self.pending = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def acquire(self) -> None:
+        """Admit one request or raise :class:`Overloaded`."""
+        if self.pending >= self.max_pending:
+            self.rejected += 1
+            raise Overloaded(self.pending, self.max_pending)
+        self.pending += 1
+        self.admitted += 1
+
+    def release(self) -> None:
+        """A previously admitted request finished (however it finished)."""
+        if self.pending <= 0:
+            raise RuntimeError("release() without matching acquire()")
+        self.pending -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(pending={self.pending}/{self.max_pending}, "
+            f"admitted={self.admitted}, rejected={self.rejected})"
+        )

@@ -1,0 +1,149 @@
+"""The answer cache: keyed by canonical query, guarded by weight
+generations.
+
+Cache entries are keyed by ``(program, canonical query, max_solutions)``
+where the canonical form renames variables to a fixed sequence shared
+across the conjunction — ``gf(sam, G)`` and ``gf(sam, Who)`` are the
+same cache line.
+
+Correctness rule: an entry is only served while the program's global
+weight store is at the generation the entry was filled under.  An
+end-of-session merge mutates the store and bumps
+:attr:`~repro.weights.store.WeightStore.generation`, so every cached
+answer computed under the old weights becomes unservable at once — no
+deep store comparison, one integer compare per lookup (the bounds that
+ordered those answers are stale even though B-LOG's answer *sets* are
+complete under any weights).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..logic.terms import Struct, Term, Var
+
+__all__ = [
+    "canonical_query",
+    "canonical_query_text",
+    "cache_key",
+    "slot_names",
+    "AnswerCache",
+    "CacheEntry",
+]
+
+
+def canonical_query(goals: Sequence[Term]) -> tuple[str, tuple[str, ...]]:
+    """Canonicalize a conjunction: ``(text, original variable names)``.
+
+    Variables are renamed ``_C1, _C2, ...`` in order of first
+    appearance — one mapping shared across all goals, so variable
+    sharing between goals is preserved.  The returned names are the
+    query's own variable names in slot order (``"_"`` for anonymous
+    ones); they let the serving layer store cached answers under
+    canonical slots and re-key them to whatever names the *next* asker
+    used.
+    """
+    mapping: dict[int, Var] = {}
+    names: list[str] = []
+
+    def go(t: Term) -> Term:
+        if isinstance(t, Var):
+            nv = mapping.get(t.id)
+            if nv is None:
+                nv = Var(f"_C{len(names) + 1}", vid=-(len(names) + 1))
+                mapping[t.id] = nv
+                names.append(t.name)
+            return nv
+        if isinstance(t, Struct):
+            return Struct(t.functor, tuple(go(a) for a in t.args))
+        return t
+
+    text = ", ".join(str(go(g)) for g in goals)
+    return text, tuple(names)
+
+
+def canonical_query_text(goals: Sequence[Term]) -> str:
+    """Just the canonical conjunction text (variable names erased)."""
+    return canonical_query(goals)[0]
+
+
+def slot_names(names: Sequence[str]) -> dict[str, str]:
+    """``{original name: canonical slot}`` for the *named* variables."""
+    return {n: f"_C{i + 1}" for i, n in enumerate(names) if n != "_"}
+
+
+def cache_key(
+    program: str, goals: Sequence[Term], max_solutions: Optional[int]
+) -> tuple:
+    """The cache line identity of a query.
+
+    Besides program and canonical text, the key carries the anonymity
+    mask of the variable slots: ``gf(sam, G)`` and ``gf(sam, _)`` have
+    the same canonical text but report different bindings, so they must
+    not share a line.
+    """
+    text, names = canonical_query(goals)
+    mask = tuple(n == "_" for n in names)
+    return (program, text, mask, max_solutions)
+
+
+@dataclass
+class CacheEntry:
+    generation: int  # global-store generation the answers were computed under
+    answers: list[dict[str, str]]
+
+
+class AnswerCache:
+    """LRU answer cache with generation-checked lookups."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0  # misses caused specifically by a generation bump
+
+    def get(self, key: tuple, generation: int) -> Optional[list[dict[str, str]]]:
+        """The cached answers, or None; stale entries are evicted."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.generation != generation:
+            del self._entries[key]
+            self.stale += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.answers
+
+    def put(self, key: tuple, generation: int, answers: list[dict[str, str]]) -> None:
+        self._entries[key] = CacheEntry(generation, list(answers))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_program(self, program: str) -> int:
+        """Drop every entry of one program; returns how many were dropped."""
+        doomed = [k for k in self._entries if k[0] == program]
+        for k in doomed:
+            del self._entries[k]
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }

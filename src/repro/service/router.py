@@ -1,0 +1,135 @@
+"""Session-affinity routing: one session, one lane, one local store.
+
+The paper's session protocol (§5) is *strong local learning,
+conservative global merging*: during a session every weight update goes
+to a session-local copy of the store, and only the end-of-session merge
+touches the global database.  Serving many clients concurrently, that
+rule becomes a routing constraint: all queries of one session must be
+executed serially against the same local store, while *distinct*
+sessions are free to run in parallel (their local stores share
+nothing until merge time).
+
+:class:`SessionRouter` implements exactly that: a session id hashes to
+a fixed lane (a serial execution queue owned by the worker pool), and
+the router owns the per-session state — a :class:`BLogEngine` with an
+open session whose local store lives for the session's lifetime.  The
+hash is ``crc32``, not Python's randomized ``hash``, so placement is
+stable across runs and processes.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.config import BLogConfig
+from ..core.engine import BLogEngine
+from ..logic.program import Program
+from ..weights.session import MergeReport
+from ..weights.store import WeightStore
+
+__all__ = ["SessionState", "SessionRouter"]
+
+
+@dataclass
+class SessionState:
+    """One live session: its engine (holding the local store) and accounting."""
+
+    program: str
+    session: str
+    engine: BLogEngine
+    lane: int
+    created_at: float = field(default_factory=time.monotonic)
+    queries: int = 0
+
+    @property
+    def local_store(self) -> WeightStore:
+        return self.engine.store
+
+
+class SessionRouter:
+    """Maps sessions to lanes and owns per-session engine state."""
+
+    def __init__(self, n_lanes: int):
+        if n_lanes < 1:
+            raise ValueError("need at least one lane")
+        self.n_lanes = int(n_lanes)
+        self._sessions: dict[tuple[str, str], SessionState] = {}
+        self.sessions_opened = 0
+        self.sessions_merged = 0
+
+    # -- placement ---------------------------------------------------------
+    def lane_for(self, session: str) -> int:
+        """The lane a session's queries execute on (stable affinity)."""
+        return zlib.crc32(session.encode("utf-8")) % self.n_lanes
+
+    # -- session state -----------------------------------------------------
+    def get(self, program: str, session: str) -> Optional[SessionState]:
+        return self._sessions.get((program, session))
+
+    def open(
+        self,
+        program_name: str,
+        session: str,
+        program: Program,
+        global_store: WeightStore,
+        config: BLogConfig,
+    ) -> SessionState:
+        """The session's state, opening it on first touch.
+
+        Opening copies the global store into the session-local store
+        (the §5 session begin).  Must be called from the event-loop
+        thread, which is the only mutator of global stores.
+        """
+        key = (program_name, session)
+        state = self._sessions.get(key)
+        if state is None:
+            engine = BLogEngine(program, config, global_store=global_store)
+            engine.begin_session()
+            state = SessionState(
+                program=program_name,
+                session=session,
+                engine=engine,
+                lane=self.lane_for(session),
+            )
+            self._sessions[key] = state
+            self.sessions_opened += 1
+        return state
+
+    def close(
+        self, program_name: str, session: str, conservative: bool = True
+    ) -> Optional[MergeReport]:
+        """End a session: merge its local store into the global store
+        (bumping the store generation if anything was learned) and drop
+        the state.  Returns None for a session that was never opened.
+
+        The caller (the service) is responsible for running this on the
+        session's lane so it cannot race an in-flight query of the same
+        session, and on the event-loop thread because it writes the
+        global store.
+        """
+        state = self._sessions.pop((program_name, session), None)
+        if state is None:
+            return None
+        report = state.engine.end_session(conservative=conservative)
+        self.sessions_merged += 1
+        return report
+
+    def abandon(self, program_name: str, session: str) -> bool:
+        """Drop a session *without* merging.
+
+        Used after a timed-out query: the abandoned worker thread may
+        still be running and mutating the session-local store, so that
+        store can never be trusted for a merge nor handed to another
+        query.  The next query of the same session opens a fresh state.
+        """
+        return self._sessions.pop((program_name, session), None) is not None
+
+    # -- introspection -----------------------------------------------------
+    def live_sessions(self) -> list[SessionState]:
+        return list(self._sessions.values())
+
+    def __len__(self) -> int:
+        return len(self._sessions)

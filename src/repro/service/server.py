@@ -1,0 +1,504 @@
+"""The B-LOG query service: a concurrent front-end over the engine.
+
+This is the serving layer the ROADMAP's north star asks for: many
+clients, one installation.  One :class:`BLogService` holds a registry
+of named programs, each with its own global weight store, and serves
+:class:`QueryRequest`\\ s two ways:
+
+* **in-process** — ``await service.submit(request)``;
+* **over TCP** — one JSON object per line (``serve_tcp``), the same
+  requests and responses serialized.
+
+Concurrency contract (who touches what, from where):
+
+* The **event loop thread** is the only mutator of global weight
+  stores: sessions open (copy global → local) and merge (local →
+  global) there, serialized per lane.
+* **Worker threads** execute queries and touch only the session-local
+  store of the session they were routed for; the router's lane affinity
+  guarantees at most one in-flight query per session.
+* The answer cache and stats are loop-thread-only.
+
+Request lifecycle: admission (bounded pending, explicit
+:class:`~repro.service.admission.Overloaded`) → cache lookup
+(generation-guarded) → route to the session's lane → execute with
+deadline and one retry on worker death → record trace, fill cache.
+A ``machine``-engine request degrades to the sequential ``blog`` engine
+when the service is loaded past ``degrade_pending`` — the simulator is
+the expensive engine, and under pressure a correct answer now beats a
+cycle-accurate answer later.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Optional, Union
+
+from ..core.config import BLogConfig
+from ..core.procpool import or_parallel_solve
+from ..logic.parser import ParseError, parse_query
+from ..logic.program import Program
+from ..logic.terms import Term
+from ..machine.blog_machine import BLogMachine, MachineConfig
+from ..ortree.tree import OrTree
+from ..weights.session import MergeReport
+from ..weights.store import WeightStore
+from .admission import AdmissionController, Overloaded
+from .cache import AnswerCache, cache_key, canonical_query, slot_names
+from .router import SessionRouter, SessionState
+from .stats import ServiceStats, TraceEvent
+from .workers import Job, QueryTimeout, WorkerDied, WorkerPool
+
+__all__ = ["QueryRequest", "QueryResponse", "ProgramEntry", "BLogService"]
+
+ENGINES = ("blog", "machine", "procpool")
+
+
+@dataclass
+class QueryRequest:
+    """One query: which program, what goals, whose session, which engine."""
+
+    program: str
+    query: str
+    session: str = "default"
+    engine: str = "blog"
+    max_solutions: Optional[int] = None
+    timeout: Optional[float] = None  # seconds; service default when None
+    cache: bool = True  # False: always execute (and don't fill the cache)
+    request_id: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QueryRequest":
+        return cls(
+            program=d.get("program", "default"),
+            query=d["query"],
+            session=str(d.get("session", "default")),
+            engine=d.get("engine", "blog"),
+            max_solutions=d.get("max_solutions"),
+            timeout=d.get("timeout"),
+            cache=bool(d.get("cache", True)),
+            request_id=d.get("id"),
+        )
+
+
+@dataclass
+class QueryResponse:
+    """What came back, plus where the request's time went."""
+
+    request_id: str
+    ok: bool
+    answers: list[dict[str, str]] = field(default_factory=list)
+    error: Optional[str] = None
+    cached: bool = False
+    engine: str = "blog"
+    degraded: bool = False
+    retries: int = 0
+    expansions: Optional[int] = None
+    queue_wait_ms: float = 0.0
+    engine_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"id": self.request_id, **{
+            k: v for k, v in asdict(self).items() if k != "request_id"
+        }}
+
+
+@dataclass
+class ProgramEntry:
+    """One served knowledge base: program + its global weight store."""
+
+    name: str
+    program: Program
+    global_store: WeightStore
+    config: BLogConfig
+    machine_config: MachineConfig
+
+
+class BLogService:
+    """A concurrent B-LOG query service over named programs.
+
+    Parameters
+    ----------
+    programs:
+        ``{name: Program | source text}`` — the knowledge bases served.
+    config / machine:
+        Engine constants and machine topology shared by all programs.
+    n_workers:
+        Lane count = worker-thread count = max truly concurrent queries.
+    max_pending:
+        Admission bound on queued + executing queries (backpressure).
+    default_timeout:
+        Per-query deadline (seconds) when the request names none.
+    degrade_pending:
+        Pending-query level above which ``machine`` requests fall back
+        to the sequential engine; defaults to ``2 * n_workers``.
+    processes:
+        Process count for the ``procpool`` engine's OR split.
+    """
+
+    def __init__(
+        self,
+        programs: dict[str, Union[Program, str]],
+        config: Optional[BLogConfig] = None,
+        machine: Optional[MachineConfig] = None,
+        n_workers: int = 4,
+        max_pending: int = 64,
+        cache_capacity: int = 1024,
+        default_timeout: float = 30.0,
+        degrade_pending: Optional[int] = None,
+        processes: int = 2,
+    ):
+        self.config = config if config is not None else BLogConfig()
+        self.machine_config = (
+            machine if machine is not None else MachineConfig(n_processors=4)
+        )
+        self.programs: dict[str, ProgramEntry] = {}
+        for name, prog in programs.items():
+            self.add_program(name, prog)
+        self.n_workers = int(n_workers)
+        self.default_timeout = float(default_timeout)
+        self.degrade_pending = (
+            int(degrade_pending) if degrade_pending is not None else 2 * self.n_workers
+        )
+        self.processes = int(processes)
+        self.router = SessionRouter(self.n_workers)
+        self.pool = WorkerPool(self.n_workers)
+        self.admission = AdmissionController(max_pending)
+        self.cache = AnswerCache(cache_capacity)
+        self.stats_agg = ServiceStats()
+        self._req_counter = 0
+        self._tcp_server: Optional[asyncio.base_events.Server] = None
+
+    # -- registry ----------------------------------------------------------
+    def add_program(self, name: str, program: Union[Program, str]) -> ProgramEntry:
+        if isinstance(program, str):
+            program = Program.from_source(program)
+        entry = ProgramEntry(
+            name=name,
+            program=program,
+            global_store=WeightStore(n=self.config.n, a=self.config.a),
+            config=self.config,
+            machine_config=self.machine_config,
+        )
+        self.programs[name] = entry
+        return entry
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        await self.pool.start()
+
+    async def stop(self) -> None:
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        await self.pool.stop()
+
+    # -- the in-process API ------------------------------------------------
+    async def submit(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request; raises :class:`Overloaded` when at the
+        admission bound (the TCP layer turns that into an error reply)."""
+        rid = request.request_id or self._next_id()
+        try:
+            self.admission.acquire()
+        except Overloaded:
+            self.stats_agg.record_rejection()
+            raise
+        try:
+            return await self._admitted(request, rid)
+        finally:
+            self.admission.release()
+
+    async def _admitted(self, request: QueryRequest, rid: str) -> QueryResponse:
+        entry = self.programs.get(request.program)
+        if entry is None:
+            return self._finish(
+                request, rid, error=f"unknown program {request.program!r}"
+            )
+        if request.engine not in ENGINES:
+            return self._finish(
+                request, rid, error=f"unknown engine {request.engine!r}"
+            )
+        try:
+            goals = self._parse(request.query)
+        except ParseError as exc:
+            return self._finish(request, rid, error=f"syntax error: {exc}")
+
+        # Cache lookup under the program's current weight generation: a
+        # session merge bumps the generation and silently invalidates
+        # every answer computed under the old weights.  Entries hold
+        # answers keyed by canonical variable slots, re-keyed here to
+        # whatever names this asker used (gf(sam, G) can serve
+        # gf(sam, Who)).
+        generation = entry.global_store.generation
+        key = cache_key(entry.name, goals, request.max_solutions)
+        slots = slot_names(canonical_query(goals)[1])
+        if request.cache:
+            canon = self.cache.get(key, generation)
+            if canon is not None:
+                by_slot = {slot: name for name, slot in slots.items()}
+                answers = [
+                    {by_slot[s]: v for s, v in a.items() if s in by_slot}
+                    for a in canon
+                ]
+                return self._finish(
+                    request, rid, answers=answers, cache_hit=True, engine_used="cache"
+                )
+
+        engine_used = request.engine
+        degraded = False
+        if engine_used == "machine" and self.admission.pending > self.degrade_pending:
+            engine_used = "blog"
+            degraded = True
+
+        state = self.router.open(
+            entry.name, request.session, entry.program, entry.global_store, self.config
+        )
+        state.queries += 1
+        timeout = request.timeout if request.timeout is not None else self.default_timeout
+
+        async def run(job: Job):
+            return await self.pool.run_sync(
+                job, lambda: self._execute(engine_used, state, entry, goals, request),
+                timeout,
+            )
+
+        job = self.pool.submit(state.lane, run)
+        try:
+            answers, expansions = await job.future
+        except QueryTimeout as exc:
+            # The worker thread cannot be killed and may still be
+            # mutating this session's local store — abandon the session
+            # so the tainted store is never merged or queried again.
+            self.router.abandon(entry.name, request.session)
+            return self._finish(
+                request, rid, error=str(exc), engine_used=engine_used,
+                degraded=degraded, job=job,
+            )
+        except WorkerDied as exc:
+            return self._finish(
+                request, rid, error=f"worker died twice: {exc}",
+                engine_used=engine_used, degraded=degraded, job=job,
+            )
+        except Exception as exc:  # engine errors must not kill the service
+            return self._finish(
+                request, rid, error=f"{type(exc).__name__}: {exc}",
+                engine_used=engine_used, degraded=degraded, job=job,
+            )
+        if request.cache:
+            self.cache.put(
+                key,
+                generation,
+                [{slots[k]: v for k, v in a.items() if k in slots} for a in answers],
+            )
+        return self._finish(
+            request, rid, answers=answers, engine_used=engine_used,
+            degraded=degraded, job=job, expansions=expansions,
+        )
+
+    async def end_session(
+        self, program: str, session: str, conservative: bool = True
+    ) -> Optional[MergeReport]:
+        """Merge a session into the program's global store (bumping its
+        generation) and drop the session state.
+
+        The merge runs as a job on the session's own lane, so it
+        serializes behind any in-flight query of that session; the merge
+        body itself executes on the event loop (global stores are
+        loop-thread-only).
+        """
+        if self.router.get(program, session) is None:
+            return None
+        lane = self.router.lane_for(session)
+
+        async def run(job: Job) -> Optional[MergeReport]:
+            return self.router.close(program, session, conservative=conservative)
+
+        job = self.pool.submit(lane, run)
+        return await job.future
+
+    def stats(self) -> dict:
+        """Operator-facing counters: latency, throughput, cache, admission."""
+        return {
+            **self.stats_agg.summary(),
+            "cache": self.cache.stats(),
+            "pending": self.admission.pending,
+            "admitted": self.admission.admitted,
+            "sessions_open": len(self.router),
+            "sessions_merged": self.router.sessions_merged,
+            "programs": sorted(self.programs),
+        }
+
+    # -- execution (worker threads) ----------------------------------------
+    def _execute(
+        self,
+        engine_used: str,
+        state: SessionState,
+        entry: ProgramEntry,
+        goals: tuple[Term, ...],
+        request: QueryRequest,
+    ) -> tuple[list[dict[str, str]], Optional[int]]:
+        """Run one query on the chosen engine.  Worker-thread code: may
+        touch only the session-local store (``state.engine.store``)."""
+        if engine_used == "blog":
+            result = state.engine.query(goals, max_solutions=request.max_solutions)
+            answers = [
+                {k: str(v) for k, v in a.items()} for a in result.answers
+            ]
+            return answers, result.expansions
+        if engine_used == "machine":
+            store = state.engine.store
+            tree = OrTree(
+                entry.program,
+                goals,
+                weight_fn=store.weight_fn(),
+                arc_key_policy=entry.config.arc_key_policy,
+                max_depth=entry.config.max_depth,
+            )
+            cfg = entry.machine_config
+            if request.max_solutions is not None:
+                cfg = replace(cfg, max_solutions=request.max_solutions)
+            res = BLogMachine(cfg, store=store).run(tree)
+            answers = [{k: str(v) for k, v in a.items()} for a in res.answers]
+            return answers, res.expansions
+        # procpool: OR split over OS processes; no weight learning
+        par = or_parallel_solve(
+            entry.program,
+            goals,
+            processes=self.processes,
+            max_depth=entry.config.max_depth,
+            max_solutions_per_branch=request.max_solutions,
+        )
+        return list(par.answers), None
+
+    # -- plumbing ----------------------------------------------------------
+    def _parse(self, query: str) -> tuple[Term, ...]:
+        return parse_query(query)
+
+    def _next_id(self) -> str:
+        self._req_counter += 1
+        return f"q{self._req_counter}"
+
+    def _finish(
+        self,
+        request: QueryRequest,
+        rid: str,
+        answers: Optional[list[dict[str, str]]] = None,
+        error: Optional[str] = None,
+        cache_hit: bool = False,
+        engine_used: Optional[str] = None,
+        degraded: bool = False,
+        job: Optional[Job] = None,
+        expansions: Optional[int] = None,
+    ) -> QueryResponse:
+        """Build the response and record its trace event."""
+        import time as _time
+
+        ok = error is None
+        queue_wait = job.queue_wait_s if job is not None else 0.0
+        engine_s = 0.0
+        if job is not None and job.started_at is not None:
+            engine_s = _time.monotonic() - job.started_at
+        total_s = queue_wait + engine_s
+        event = TraceEvent(
+            request_id=rid,
+            program=request.program,
+            session=request.session,
+            engine_requested=request.engine,
+            engine_used=engine_used or request.engine,
+            ok=ok,
+            answers=len(answers or ()),
+            cache_hit=cache_hit,
+            degraded=degraded,
+            retries=job.retries if job is not None else 0,
+            queue_wait_s=queue_wait,
+            engine_s=engine_s,
+            total_s=total_s,
+        )
+        event.error = error
+        self.stats_agg.record(event)
+        return QueryResponse(
+            request_id=rid,
+            ok=ok,
+            answers=list(answers or ()),
+            error=error,
+            cached=cache_hit,
+            engine=engine_used or request.engine,
+            degraded=degraded,
+            retries=event.retries,
+            expansions=expansions,
+            queue_wait_ms=queue_wait * 1000.0,
+            engine_ms=engine_s * 1000.0,
+        )
+
+    # -- the TCP front-end -------------------------------------------------
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 8750):
+        """Start the line-JSON TCP endpoint; returns the asyncio server.
+
+        Protocol: one JSON object per line.  ``{"op": "query", ...}``
+        (or any object with a ``"query"`` key) runs a query;
+        ``{"op": "end_session", "program": P, "session": S}`` merges a
+        session; ``{"op": "stats"}`` reports counters.  Responses are
+        one JSON object per line, always with an ``"ok"`` field.
+        """
+        await self.start()
+        self._tcp_server = await asyncio.start_server(self._handle_client, host, port)
+        return self._tcp_server
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                reply = await self._dispatch_line(line)
+                writer.write((json.dumps(reply) + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> dict:
+        try:
+            msg = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"bad json: {exc}"}
+        if not isinstance(msg, dict):
+            return {"ok": False, "error": "request must be a json object"}
+        op = msg.get("op", "query" if "query" in msg else None)
+        if op == "query":
+            try:
+                request = QueryRequest.from_dict(msg)
+            except KeyError:
+                return {"ok": False, "error": "missing 'query' field"}
+            try:
+                return (await self.submit(request)).to_dict()
+            except Overloaded as exc:
+                return {
+                    "id": msg.get("id"),
+                    "ok": False,
+                    "overloaded": True,
+                    "error": str(exc),
+                }
+        if op == "end_session":
+            report = await self.end_session(
+                msg.get("program", "default"),
+                str(msg.get("session", "default")),
+                conservative=bool(msg.get("conservative", True)),
+            )
+            return {
+                "ok": True,
+                "merged": asdict(report) if report is not None else None,
+            }
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        return {"ok": False, "error": f"unknown op {op!r}"}

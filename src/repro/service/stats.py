@@ -1,0 +1,124 @@
+"""Per-request trace events and service-level aggregation.
+
+Every request the service finishes (served, failed, or timed out)
+produces one :class:`TraceEvent` recording where its time went — queue
+wait, engine time — and what happened to it (cache hit, degradation,
+retries).  :class:`ServiceStats` folds the stream of events into the
+numbers an operator actually watches: p50/p95 latency, throughput,
+cache hit rate, per-engine counts, and overload rejections.
+
+Nothing here is asynchronous: the service records events from the
+event-loop thread only, so plain counters suffice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TraceEvent", "ServiceStats", "percentile", "format_stats"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation; 0.0 when empty."""
+    if not values:
+        return 0.0
+    xs = sorted(values)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (q / 100.0) * (len(xs) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+@dataclass
+class TraceEvent:
+    """Where one request's time went, and what happened to it."""
+
+    request_id: str
+    program: str
+    session: str
+    engine_requested: str
+    engine_used: str  # "cache" for cache hits
+    ok: bool
+    answers: int = 0
+    cache_hit: bool = False
+    degraded: bool = False  # machine -> blog fallback under load
+    retries: int = 0
+    queue_wait_s: float = 0.0
+    engine_s: float = 0.0
+    total_s: float = 0.0
+    error: Optional[str] = None
+    done_at: float = field(default_factory=time.monotonic)
+
+
+class ServiceStats:
+    """Aggregates trace events into operator-facing counters."""
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+        self.rejected = 0
+        self._started_at = time.monotonic()
+        self._first_done: Optional[float] = None
+        self._last_done: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        if self._first_done is None:
+            self._first_done = event.done_at
+        self._last_done = event.done_at
+
+    def record_rejection(self) -> None:
+        self.rejected += 1
+
+    # -- reading -----------------------------------------------------------
+    def summary(self) -> dict:
+        """One flat dict of everything: counts, latency, throughput."""
+        served = [e for e in self.events if e.ok]
+        errors = [e for e in self.events if not e.ok]
+        hits = sum(1 for e in self.events if e.cache_hit)
+        lookups = len(self.events)
+        lat = [e.total_s * 1000.0 for e in served]
+        waits = [e.queue_wait_s * 1000.0 for e in served]
+        span = 0.0
+        if self._first_done is not None and self._last_done is not None:
+            span = self._last_done - self._first_done
+        by_engine: dict[str, int] = {}
+        for e in self.events:
+            by_engine[e.engine_used] = by_engine.get(e.engine_used, 0) + 1
+        return {
+            "served": len(served),
+            "errors": len(errors),
+            "rejected": self.rejected,
+            "cache_hits": hits,
+            "cache_hit_rate": hits / lookups if lookups else 0.0,
+            "retries": sum(e.retries for e in self.events),
+            "degraded": sum(1 for e in self.events if e.degraded),
+            "p50_ms": percentile(lat, 50.0),
+            "p95_ms": percentile(lat, 95.0),
+            "mean_ms": sum(lat) / len(lat) if lat else 0.0,
+            "p95_queue_wait_ms": percentile(waits, 95.0),
+            "throughput_qps": len(served) / span if span > 0 else float(len(served)),
+            "by_engine": by_engine,
+        }
+
+
+def format_stats(summary: dict) -> str:
+    """Human-readable one-screen rendering of :meth:`ServiceStats.summary`."""
+    lines = [
+        f"served {summary['served']}  errors {summary['errors']}  "
+        f"rejected {summary['rejected']}",
+        f"latency p50 {summary['p50_ms']:.1f} ms  p95 {summary['p95_ms']:.1f} ms  "
+        f"mean {summary['mean_ms']:.1f} ms",
+        f"throughput {summary['throughput_qps']:.1f} q/s  "
+        f"queue-wait p95 {summary['p95_queue_wait_ms']:.1f} ms",
+        f"cache hit rate {summary['cache_hit_rate']:.2f}  "
+        f"retries {summary['retries']}  degraded {summary['degraded']}",
+        "engines: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(summary["by_engine"].items())),
+    ]
+    return "\n".join(lines)

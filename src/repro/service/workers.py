@@ -1,0 +1,158 @@
+"""The bounded worker pool: serial lanes over a thread executor.
+
+Execution model
+---------------
+The pool owns ``n_lanes`` *lanes*.  A lane is a serial queue drained by
+one asyncio task; the router pins every session to one lane, which is
+what makes session-local weight stores safe without locks — a session's
+queries can never run concurrently with each other (nor with that
+session's end-of-session merge, which is enqueued on the same lane).
+
+The actual query execution is synchronous, CPU-bound engine code, so a
+lane hands it to a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+(one thread per lane) and awaits it with a deadline.  Failure handling:
+
+* **timeout** — the await is abandoned and the request fails with
+  :class:`QueryTimeout`.  (The worker thread itself cannot be killed;
+  it finishes into a dropped future.  The admission bound still holds
+  because the request releases its slot on the way out.)
+* **worker death** — an execution that raises :class:`WorkerDied`
+  (a crashed OR-split worker process, an injected fault) is retried
+  exactly once on the same lane; a second death fails the request.
+
+Queue-wait per job is measured here (enqueue → start) and surfaced to
+the stats layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Optional
+
+__all__ = ["WorkerDied", "QueryTimeout", "Job", "WorkerPool"]
+
+
+class WorkerDied(RuntimeError):
+    """The worker executing a query died mid-flight (retryable once)."""
+
+
+class QueryTimeout(RuntimeError):
+    """The query missed its deadline."""
+
+
+@dataclass
+class Job:
+    """One unit of lane work (a query execution or a session merge)."""
+
+    run: Callable[["Job"], Awaitable[Any]]
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    retries: int = 0
+
+    @property
+    def queue_wait_s(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.enqueued_at
+
+
+class WorkerPool:
+    """``n_lanes`` serial queues over a shared thread executor."""
+
+    def __init__(self, n_lanes: int):
+        if n_lanes < 1:
+            raise ValueError("need at least one lane")
+        self.n_lanes = int(n_lanes)
+        self._queues: list[asyncio.Queue] = []
+        self._tasks: list[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        if self.started:
+            return
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.n_lanes, thread_name_prefix="blog-worker"
+        )
+        self._queues = [asyncio.Queue() for _ in range(self.n_lanes)]
+        self._tasks = [
+            asyncio.create_task(self._lane_main(q), name=f"blog-lane-{i}")
+            for i, q in enumerate(self._queues)
+        ]
+        self.started = True
+
+    async def stop(self) -> None:
+        if not self.started:
+            return
+        for q in self._queues:
+            q.put_nowait(None)  # sentinel: drain then exit
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        assert self._executor is not None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = None
+        self._tasks = []
+        self._queues = []
+        self.started = False
+
+    # -- submission --------------------------------------------------------
+    def submit(self, lane: int, run: Callable[[Job], Awaitable[Any]]) -> Job:
+        """Enqueue work on a lane; await ``job.future`` for the result."""
+        if not self.started:
+            raise RuntimeError("worker pool is not running; call start()")
+        job = Job(run=run, future=asyncio.get_running_loop().create_future())
+        self._queues[lane].put_nowait(job)
+        return job
+
+    def depth(self, lane: int) -> int:
+        return self._queues[lane].qsize() if self.started else 0
+
+    # -- execution helpers -------------------------------------------------
+    async def run_sync(
+        self,
+        job: Job,
+        fn: Callable[[], Any],
+        timeout: Optional[float],
+    ) -> Any:
+        """Run ``fn`` on the executor with a deadline and one retry on
+        :class:`WorkerDied`; meant to be called from a job's ``run``."""
+        assert self._executor is not None
+        loop = asyncio.get_running_loop()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return await asyncio.wait_for(
+                    loop.run_in_executor(self._executor, fn), timeout
+                )
+            except asyncio.TimeoutError:
+                raise QueryTimeout(
+                    f"query exceeded its {timeout:g}s deadline"
+                ) from None
+            except WorkerDied:
+                if attempts > 1:
+                    raise
+                job.retries += 1
+
+    # -- lane loop ---------------------------------------------------------
+    async def _lane_main(self, queue: asyncio.Queue) -> None:
+        while True:
+            job = await queue.get()
+            if job is None:
+                queue.task_done()
+                return
+            job.started_at = time.monotonic()
+            try:
+                result = await job.run(job)
+            except Exception as exc:  # noqa: BLE001 — delivered to the caller
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            else:
+                if not job.future.done():
+                    job.future.set_result(result)
+            finally:
+                queue.task_done()

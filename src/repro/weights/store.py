@@ -59,6 +59,12 @@ class WeightStore:
         self.n = float(n)
         self.a = int(a)
         self._entries: dict[ArcKey, WeightEntry] = {}
+        #: Monotonic mutation counter.  Every write that actually changes
+        #: the store (set_known / set_infinite / forget / clear) bumps it,
+        #: so callers — notably the serving layer's answer cache — can
+        #: detect "weights moved" (e.g. after a session merge) with an
+        #: integer compare instead of deep-comparing entries.
+        self.generation: int = 0
 
     # -- encodings ---------------------------------------------------------
     @property
@@ -110,25 +116,35 @@ class WeightStore:
         if key.kind == "builtin":
             return  # builtins stay at probability 1
         self._entries[key] = WeightEntry(WeightState.KNOWN, max(0.0, float(value)))
+        self.generation += 1
 
     def set_infinite(self, key: ArcKey) -> None:
         """Record a failure weight (A·N encoding)."""
         if key.kind == "builtin":
             return
         self._entries[key] = WeightEntry(WeightState.INFINITE, self.infinity_value)
+        self.generation += 1
 
     def forget(self, key: ArcKey) -> None:
         """Drop a key back to UNKNOWN."""
-        self._entries.pop(key, None)
+        if self._entries.pop(key, None) is not None:
+            self.generation += 1
 
     def clear(self) -> None:
+        if self._entries:
+            self.generation += 1
         self._entries.clear()
 
     # -- copies / views -----------------------------------------------------------
     def copy(self) -> "WeightStore":
-        """Independent copy (the session-local store of §5)."""
+        """Independent copy (the session-local store of §5).
+
+        The copy starts at the parent's generation and counts its own
+        mutations from there; the two counters evolve independently.
+        """
         out = WeightStore(self.n, self.a)
         out._entries = dict(self._entries)
+        out.generation = self.generation
         return out
 
     def snapshot(self) -> dict[ArcKey, WeightEntry]:

@@ -123,3 +123,24 @@ class TestStorePersistence:
         warm = int(out2.split("(")[1].split()[0])
         cold = int(out3.split("(")[1].split()[0])
         assert warm <= cold
+
+
+class TestServeSubcommand:
+    def test_selfcheck_roundtrip(self):
+        """`repro serve --demo --selfcheck` starts the TCP service,
+        queries itself, prints stats, and exits cleanly."""
+        code, out = run_cli("serve", "--demo", "--port", "0", "--selfcheck")
+        assert code == 0
+        assert "serving family on" in out
+        assert out.count("ok=True") == 4
+        assert "cache hit rate" in out
+
+    def test_serve_without_program_errors(self):
+        code, out = run_cli("serve", "--port", "0", "--selfcheck")
+        assert code == 2
+        assert "--source FILE and/or --demo" in out
+
+    def test_legacy_flags_unaffected_by_subcommand(self):
+        code, out = run_cli("--demo", "--query", "gf(sam, G)")
+        assert code == 0
+        assert "G = den" in out

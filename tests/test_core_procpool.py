@@ -48,3 +48,28 @@ class TestOrParallelSolve:
             wl.program, wl.query, processes=2, max_solutions_per_branch=1
         )
         assert all(n <= 1 for n in par.per_branch_solutions)
+
+
+class TestEdgeCases:
+    def test_zero_or_alternatives_returns_empty(self, figure1):
+        """A root with no matching clauses has nothing to distribute:
+        the call answers immediately with an empty result (no pool)."""
+        par = or_parallel_solve(figure1, "no_such_pred(X)", processes=4)
+        assert par.answers == []
+        assert par.branches == 0
+        assert par.per_branch_solutions == []
+
+    def test_zero_or_alternatives_single_process(self, figure1):
+        par = or_parallel_solve(figure1, "no_such_pred(X)", processes=1)
+        assert par.answers == []
+        assert par.branches == 0
+
+    def test_unpicklable_term_raises_clear_error(self, figure1):
+        from repro.logic.terms import Atom, Struct, fresh_var
+
+        class LocalAtom(Atom):  # local classes cannot be pickled
+            pass
+
+        goal = Struct("gf", (LocalAtom("sam"), fresh_var("G")))
+        with pytest.raises(ValueError, match="not picklable"):
+            or_parallel_solve(figure1, (goal,), processes=2)

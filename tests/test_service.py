@@ -1,0 +1,508 @@
+"""The serving layer: routing, caching, backpressure, failure handling.
+
+Covers the contract end to end: session affinity (one session, one
+lane, one local store, learning visible across a session's queries),
+cache hit → session merge → generation-stale miss, per-query deadline
+with session abandonment, one retry on worker death, ``Overloaded``
+rejection at the admission bound, the TCP line-JSON endpoint, and a
+200-query mixed-session load test with zero lost or duplicated
+answers.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.logic.parser import parse_query
+from repro.service import (
+    AdmissionController,
+    AnswerCache,
+    BLogService,
+    Overloaded,
+    QueryRequest,
+    WorkerDied,
+    canonical_query_text,
+    percentile,
+)
+from repro.workloads import family_program, nrev_program
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(**kw):
+    kw.setdefault("n_workers", 2)
+    return BLogService({"family": family_program()}, **kw)
+
+
+async def with_service(body, **kw):
+    svc = make_service(**kw)
+    await svc.start()
+    try:
+        return await body(svc)
+    finally:
+        await svc.stop()
+
+
+# -- unit pieces -------------------------------------------------------------
+
+
+class TestCanonicalQuery:
+    def test_variable_names_do_not_matter(self):
+        a = canonical_query_text(parse_query("gf(sam, G)"))
+        b = canonical_query_text(parse_query("gf(sam, Who)"))
+        assert a == b
+
+    def test_sharing_between_goals_is_preserved(self):
+        shared = canonical_query_text(parse_query("f(X, Y), f(Y, Z)"))
+        unshared = canonical_query_text(parse_query("f(X, Y), f(W, Z)"))
+        assert shared != unshared
+
+    def test_constants_matter(self):
+        assert canonical_query_text(parse_query("gf(sam, G)")) != canonical_query_text(
+            parse_query("gf(curt, G)")
+        )
+
+    def test_anonymous_variables_get_a_distinct_cache_line(self):
+        from repro.service import cache_key
+
+        named = cache_key("p", parse_query("gf(sam, G)"), None)
+        anon = cache_key("p", parse_query("gf(sam, _)"), None)
+        assert named != anon  # same canonical text, different bindings reported
+
+
+class TestAnswerCache:
+    def test_put_get_roundtrip(self):
+        c = AnswerCache(capacity=4)
+        c.put(("p", "q", None), 0, [{"X": "a"}])
+        assert c.get(("p", "q", None), 0) == [{"X": "a"}]
+        assert c.hits == 1
+
+    def test_generation_mismatch_evicts(self):
+        c = AnswerCache(capacity=4)
+        c.put(("p", "q", None), 0, [{"X": "a"}])
+        assert c.get(("p", "q", None), 1) is None
+        assert c.stale == 1
+        assert len(c) == 0
+
+    def test_lru_eviction(self):
+        c = AnswerCache(capacity=2)
+        c.put(("p", "a", None), 0, [])
+        c.put(("p", "b", None), 0, [])
+        c.get(("p", "a", None), 0)  # refresh a
+        c.put(("p", "c", None), 0, [])  # evicts b
+        assert c.get(("p", "b", None), 0) is None
+        assert c.get(("p", "a", None), 0) is not None
+
+    def test_invalidate_program(self):
+        c = AnswerCache(capacity=8)
+        c.put(("p", "a", None), 0, [])
+        c.put(("r", "a", None), 0, [])
+        assert c.invalidate_program("p") == 1
+        assert len(c) == 1
+
+
+class TestAdmission:
+    def test_bound_enforced(self):
+        adm = AdmissionController(max_pending=2)
+        adm.acquire()
+        adm.acquire()
+        with pytest.raises(Overloaded):
+            adm.acquire()
+        adm.release()
+        adm.acquire()  # slot freed
+        assert adm.rejected == 1
+
+    def test_release_without_acquire(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController(max_pending=1).release()
+
+
+class TestPercentile:
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50.0) == 5.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 95.0) == pytest.approx(3.85)
+        assert percentile([], 95.0) == 0.0
+
+
+# -- the service itself ------------------------------------------------------
+
+
+class TestBasicServing:
+    def test_answers_match_engine(self):
+        async def body(svc):
+            return await svc.submit(QueryRequest("family", "gf(sam, G)"))
+
+        resp = run(with_service(body))
+        assert resp.ok
+        assert sorted(a["G"] for a in resp.answers) == ["den", "doug"]
+        assert resp.engine == "blog" and not resp.cached
+
+    def test_unknown_program_and_engine(self):
+        async def body(svc):
+            bad_prog = await svc.submit(QueryRequest("nope", "gf(sam, G)"))
+            bad_eng = await svc.submit(
+                QueryRequest("family", "gf(sam, G)", engine="warp")
+            )
+            return bad_prog, bad_eng
+
+        bad_prog, bad_eng = run(with_service(body))
+        assert not bad_prog.ok and "unknown program" in bad_prog.error
+        assert not bad_eng.ok and "unknown engine" in bad_eng.error
+
+    def test_syntax_error_is_a_response_not_a_crash(self):
+        async def body(svc):
+            return await svc.submit(QueryRequest("family", "gf(sam,"))
+
+        resp = run(with_service(body))
+        assert not resp.ok and "syntax error" in resp.error
+
+    def test_procpool_engine(self):
+        async def body(svc):
+            return await svc.submit(
+                QueryRequest("family", "gf(sam, G)", engine="procpool")
+            )
+
+        resp = run(with_service(body))
+        assert resp.ok
+        assert sorted(a["G"] for a in resp.answers) == ["den", "doug"]
+
+
+class TestSessionAffinity:
+    def test_same_session_same_lane_and_state(self):
+        async def body(svc):
+            await svc.submit(QueryRequest("family", "gf(sam, G)", session="alice"))
+            await svc.submit(
+                QueryRequest("family", "gf(curt, G)", session="alice")
+            )
+            state = svc.router.get("family", "alice")
+            return state, svc.router.lane_for("alice")
+
+        state, lane = run(with_service(body))
+        assert state is not None
+        assert state.queries == 2
+        assert state.lane == lane  # placement never moved
+
+    def test_learning_is_visible_within_a_session(self):
+        """The second query of a session runs under weights the first
+        one learned (strong local updates); a fresh session is cold."""
+
+        async def body(svc):
+            cold = await svc.submit(
+                QueryRequest("family", "gf(sam, G)", session="warmup")
+            )
+            warm = await svc.submit(
+                QueryRequest(
+                    "family", "gf(sam, G)", session="warmup", max_solutions=1
+                )
+            )
+            fresh = await svc.submit(
+                QueryRequest(
+                    "family", "gf(sam, G)", session="newcomer",
+                    max_solutions=1, cache=False,
+                )
+            )
+            return cold, warm, fresh
+
+        cold, warm, fresh = run(with_service(body))
+        assert cold.ok and warm.ok and fresh.ok
+        assert not warm.cached and not fresh.cached
+        assert warm.expansions < fresh.expansions
+
+    def test_distinct_sessions_have_distinct_local_stores(self):
+        async def body(svc):
+            await svc.submit(
+                QueryRequest("family", "gf(sam, G)", session="a", cache=False)
+            )
+            await svc.submit(
+                QueryRequest("family", "gf(sam, G)", session="b", cache=False)
+            )
+            sa = svc.router.get("family", "a")
+            sb = svc.router.get("family", "b")
+            return sa, sb
+
+        sa, sb = run(with_service(body))
+        assert sa.local_store is not sb.local_store
+        # neither session has merged: the global store is untouched
+        assert len(sa.engine.sessions.global_store) == 0
+
+
+class TestCacheLifecycle:
+    def test_hit_then_merge_then_stale_miss(self):
+        async def body(svc):
+            first = await svc.submit(
+                QueryRequest("family", "gf(sam, G)", session="s1")
+            )
+            renamed = await svc.submit(
+                QueryRequest("family", "gf(sam, Who)", session="s1")
+            )
+            gen_before = svc.programs["family"].global_store.generation
+            report = await svc.end_session("family", "s1")
+            gen_after = svc.programs["family"].global_store.generation
+            third = await svc.submit(
+                QueryRequest("family", "gf(sam, G)", session="s2")
+            )
+            fourth = await svc.submit(
+                QueryRequest("family", "gf(sam, G)", session="s3")
+            )
+            return first, renamed, report, gen_before, gen_after, third, fourth, svc
+
+        first, renamed, report, g0, g1, third, fourth, svc = run(with_service(body))
+        assert first.ok and not first.cached
+        assert renamed.cached  # canonical key: variable names don't matter
+        # ...and the cached answers come back under the *asker's* names
+        assert sorted(a["Who"] for a in renamed.answers) == ["den", "doug"]
+        assert report is not None and report.adopted > 0
+        assert g1 > g0  # the merge moved the weights
+        assert not third.cached  # stale entry evicted, recomputed
+        assert fourth.cached  # refilled under the new generation
+        assert svc.cache.stale >= 1
+
+    def test_end_session_unknown_session_is_none(self):
+        async def body(svc):
+            return await svc.end_session("family", "ghost")
+
+        assert run(with_service(body)) is None
+
+
+class TestFailureHandling:
+    def test_timeout_fails_request_and_abandons_session(self):
+        async def body(svc):
+            real = svc._execute
+
+            def slow(*a, **k):
+                time.sleep(0.5)
+                return real(*a, **k)
+
+            svc._execute = slow
+            resp = await svc.submit(
+                QueryRequest("family", "gf(sam, G)", session="slowpoke", timeout=0.05)
+            )
+            svc._execute = real
+            follow_up = await svc.submit(
+                QueryRequest("family", "gf(curt, G)", session="slowpoke")
+            )
+            return resp, follow_up, svc.router.get("family", "slowpoke")
+
+        resp, follow_up, state = run(with_service(body))
+        assert not resp.ok and "deadline" in resp.error
+        assert follow_up.ok  # a fresh session state served the next query
+        assert state is not None and state.queries == 1  # reopened, not reused
+
+    def test_worker_death_is_retried_once(self):
+        async def body(svc):
+            real = svc._execute
+            deaths = {"n": 0}
+
+            def flaky(*a, **k):
+                if deaths["n"] == 0:
+                    deaths["n"] += 1
+                    raise WorkerDied("simulated crash")
+                return real(*a, **k)
+
+            svc._execute = flaky
+            return await svc.submit(QueryRequest("family", "gf(sam, G)"))
+
+        resp = run(with_service(body))
+        assert resp.ok
+        assert resp.retries == 1
+        assert sorted(a["G"] for a in resp.answers) == ["den", "doug"]
+
+    def test_second_death_fails_the_request(self):
+        async def body(svc):
+            def doomed(*a, **k):
+                raise WorkerDied("persistent crash")
+
+            svc._execute = doomed
+            return await svc.submit(QueryRequest("family", "gf(sam, G)"))
+
+        resp = run(with_service(body))
+        assert not resp.ok
+        assert "worker died twice" in resp.error
+        assert resp.retries == 1
+
+    def test_overloaded_rejection_when_queue_full(self):
+        async def body(svc):
+            def slow(*a, **k):
+                time.sleep(0.2)
+                return [], None
+
+            svc._execute = slow
+            reqs = [
+                svc.submit(
+                    QueryRequest("family", "gf(sam, G)", session=f"c{i}")
+                )
+                for i in range(5)
+            ]
+            return await asyncio.gather(*reqs, return_exceptions=True)
+
+        results = run(with_service(body, n_workers=1, max_pending=2))
+        rejected = [r for r in results if isinstance(r, Overloaded)]
+        served = [r for r in results if not isinstance(r, Exception)]
+        assert len(rejected) == 3 and len(served) == 2
+        assert all(r.ok for r in served)
+
+    def test_machine_degrades_to_blog_under_load(self):
+        async def body(svc):
+            return await svc.submit(
+                QueryRequest("family", "gf(sam, G)", engine="machine")
+            )
+
+        resp = run(with_service(body, degrade_pending=0))
+        assert resp.ok
+        assert resp.engine == "blog" and resp.degraded
+
+    def test_machine_runs_when_unloaded(self):
+        async def body(svc):
+            return await svc.submit(
+                QueryRequest("family", "gf(sam, G)", engine="machine")
+            )
+
+        resp = run(with_service(body))
+        assert resp.ok and resp.engine == "machine" and not resp.degraded
+        assert sorted(a["G"] for a in resp.answers) == ["den", "doug"]
+
+
+class TestTcpEndpoint:
+    def test_query_merge_stats_roundtrip(self):
+        async def body():
+            svc = make_service()
+            server = await svc.serve_tcp("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            async def ask(msg):
+                writer.write((json.dumps(msg) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            q1 = await ask(
+                {"op": "query", "id": "r1", "program": "family",
+                 "query": "gf(sam, G)", "session": "tcp1"}
+            )
+            q2 = await ask(
+                {"program": "family", "query": "gf(sam, G)", "session": "tcp1"}
+            )  # op defaults to query
+            merged = await ask(
+                {"op": "end_session", "program": "family", "session": "tcp1"}
+            )
+            stats = await ask({"op": "stats"})
+            bad = await ask({"op": "nope"})
+            garbage_reply = None
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            garbage_reply = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            await svc.stop()
+            return q1, q2, merged, stats, bad, garbage_reply
+
+        q1, q2, merged, stats, bad, garbage = run(body())
+        assert q1["ok"] and q1["id"] == "r1"
+        assert sorted(a["G"] for a in q1["answers"]) == ["den", "doug"]
+        assert q2["ok"] and q2["cached"]
+        assert merged["ok"] and merged["merged"]["adopted"] > 0
+        assert stats["ok"] and stats["stats"]["served"] >= 2
+        assert not bad["ok"]
+        assert not garbage["ok"] and "bad json" in garbage["error"]
+
+
+class TestLoadAcceptance:
+    """The issue's acceptance bar: ≥200 mixed-session queries, zero
+    lost/duplicated answers, latency + hit-rate reported, cache
+    invalidated by a session merge."""
+
+    QUERIES = {
+        "family": {
+            "gf(sam, G)": {"den", "doug"},
+            "gf(curt, G)": {"john"},
+            "f(sam, Y)": {"larry"},
+            "f(larry, Y)": {"den", "doug"},
+        },
+    }
+
+    def test_200_query_closed_loop(self):
+        programs = {"family": family_program(), "nrev": nrev_program()}
+        nrev_expected = "[e, d, c, b, a]"
+        total = 200
+        clients = 8
+        plan = []  # (program, query, session, expected answer multiset)
+        fam_items = list(self.QUERIES["family"].items())
+        for i in range(total):
+            session = f"sess{i % 10}"
+            if i % 5 == 4:
+                plan.append(
+                    ("nrev", "nrev([a,b,c,d,e], R)", session,
+                     frozenset([nrev_expected]))
+                )
+            else:
+                q, expect = fam_items[i % len(fam_items)]
+                plan.append(("family", q, session, frozenset(expect)))
+
+        async def body():
+            svc = BLogService(programs, n_workers=4, max_pending=256)
+            await svc.start()
+            queue = asyncio.Queue()
+            for i, item in enumerate(plan):
+                queue.put_nowait((f"req{i}", item))
+            responses = {}
+
+            async def client():
+                while True:
+                    try:
+                        rid, (prog, q, sess, _) = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    responses[rid] = await svc.submit(
+                        QueryRequest(prog, q, session=sess, request_id=rid)
+                    )
+
+            await asyncio.gather(*[client() for _ in range(clients)])
+
+            # demonstrate invalidation: a cached family query goes stale
+            # after its session merges
+            probe = QueryRequest("family", "gf(sam, G)", session="sess0")
+            before = await svc.submit(probe)
+            merge = await svc.end_session("family", "sess0")
+            after = await svc.submit(
+                QueryRequest("family", "gf(sam, G)", session="sess1")
+            )
+            stats = svc.stats()
+            await svc.stop()
+            return responses, before, merge, after, stats
+
+        responses, before, merge, after, stats = run(body())
+
+        # zero lost, zero duplicated requests
+        assert len(responses) == total
+        assert sorted(responses) == sorted(f"req{i}" for i in range(total))
+
+        # every answer set exact — nothing lost or duplicated inside a reply
+        for i, (prog, q, sess, expect) in enumerate(plan):
+            resp = responses[f"req{i}"]
+            assert resp.ok, f"req{i} failed: {resp.error}"
+            if prog == "family":
+                got = [a["G" if "G)" in q else "Y"] for a in resp.answers]
+            else:
+                got = [a["R"] for a in resp.answers]
+            assert len(got) == len(set(got)), f"req{i} duplicated answers: {got}"
+            assert set(got) == set(expect), f"req{i} wrong answers: {got}"
+
+        # the merge moved weights and invalidated the cached entry
+        assert before.cached
+        assert merge is not None and merge.adopted + merge.averaged > 0
+        assert not after.cached
+
+        # the report the issue asks for
+        assert stats["served"] >= total
+        assert stats["errors"] == 0 and stats["rejected"] == 0
+        assert stats["cache_hit_rate"] > 0.5  # closed loop re-asks hot queries
+        assert stats["p50_ms"] >= 0.0 and stats["p95_ms"] >= stats["p50_ms"]
+        print(
+            f"\nload: served={stats['served']} qps={stats['throughput_qps']:.0f} "
+            f"p50={stats['p50_ms']:.2f}ms p95={stats['p95_ms']:.2f}ms "
+            f"hit_rate={stats['cache_hit_rate']:.2f}"
+        )
