@@ -1,0 +1,170 @@
+"""E17 — process lanes vs. thread lanes: breaking the E16 GIL ceiling.
+
+E16 measured the ceiling: with the answer cache off, thread-lane
+throughput is flat no matter how many lanes exist, because the GIL
+serializes the CPU-bound engine work — the whole service is one
+processor pretending to be many.  E17 re-runs the same closed-loop,
+cache-off shape against the ``process`` backend, where each lane owns
+a warm subprocess with genuinely independent execution state (the
+paper's MIMD processors, §4), and sweeps 1 → 2 → 4 lanes on both
+backends.
+
+Expected shape: process-lane throughput scales with lanes up to the
+machine's core count — the acceptance bar is ≥2× from 1 to 4 lanes —
+while thread lanes stay flat.  The scaling *assertion* is armed only
+when the machine actually has ≥4 usable cores (a 1-core container can
+run the curve but physically cannot show parallel speedup; the rows
+are emitted either way, with the core count recorded).  Correctness is
+asserted unconditionally: every query served, exact answers, zero
+failures, on both backends.
+
+Sessions are chosen two-per-lane-bucket (crc32 placement) so every
+swept lane count gets balanced work — otherwise a 4-lane run could
+degenerate into two hot lanes and two idle ones and the measurement
+would be about hashing, not execution.
+"""
+
+import asyncio
+import os
+import zlib
+
+import pytest
+from conftest import emit
+
+from repro.service import BLogService, QueryRequest
+from repro.workloads import family_program, nqueens_program, nqueens_query
+
+TOTAL = 24
+CLIENTS = 8
+LANES_SWEPT = (1, 2, 4)
+NQUEENS_ANSWERS = 10  # 5-queens solution count (the correctness pin)
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def balanced_sessions(n_buckets: int = 4, per_bucket: int = 2) -> list[str]:
+    """Session names covering every crc32 bucket mod ``n_buckets``
+    evenly — uniform mod 4 is uniform mod 2 and mod 1, so one set
+    serves every swept lane count."""
+    buckets: dict[int, list[str]] = {b: [] for b in range(n_buckets)}
+    i = 0
+    while any(len(v) < per_bucket for v in buckets.values()):
+        name = f"s{i}"
+        b = zlib.crc32(name.encode()) % n_buckets
+        if len(buckets[b]) < per_bucket:
+            buckets[b].append(name)
+        i += 1
+    return [name for b in range(n_buckets) for name in buckets[b]]
+
+
+SESSIONS = balanced_sessions()
+
+
+def build_plan():
+    """Mixed but CPU-heavy: 2:1 five-queens (full enumeration) to
+    family — the engine work must dominate IPC for the sweep to
+    measure execution, not pickling."""
+    plan = []
+    for i in range(TOTAL):
+        session = SESSIONS[i % len(SESSIONS)]
+        if i % 3 == 2:
+            plan.append(("family", "gf(sam, G)", session))
+        else:
+            plan.append(("queens", nqueens_query(), session))
+    return plan
+
+
+async def drive(backend: str, n_workers: int) -> dict:
+    svc = BLogService(
+        {"family": family_program(), "queens": nqueens_program(5)},
+        n_workers=n_workers,
+        max_pending=TOTAL + 8,
+        backend=backend,
+    )
+    await svc.start()
+    queue = asyncio.Queue()
+    for i, item in enumerate(build_plan()):
+        queue.put_nowait((f"r{i}", item))
+    failures = []
+
+    async def client():
+        while True:
+            try:
+                rid, (prog, q, sess) = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            resp = await svc.submit(
+                QueryRequest(prog, q, session=sess, request_id=rid, cache=False)
+            )
+            if not resp.ok:
+                failures.append((rid, resp.error))
+            elif prog == "queens" and len(resp.answers) != NQUEENS_ANSWERS:
+                failures.append((rid, f"{len(resp.answers)} answers"))
+            elif prog == "family" and sorted(
+                a["G"] for a in resp.answers
+            ) != ["den", "doug"]:
+                failures.append((rid, resp.answers))
+
+    await asyncio.gather(*[client() for _ in range(CLIENTS)])
+    stats = svc.stats()
+    await svc.stop()
+    assert not failures, failures
+    assert stats["served"] == TOTAL
+    assert stats["cache_hit_rate"] == 0.0  # cache off: pure execution
+    return stats
+
+
+@pytest.mark.slow
+def test_e17_process_lanes_break_the_gil_ceiling():
+    cores = usable_cores()
+    rows = []
+    qps = {}
+    for backend in ("thread", "process"):
+        for n in LANES_SWEPT:
+            stats = asyncio.run(drive(backend, n))
+            qps[(backend, n)] = stats["throughput_qps"]
+            lanes = stats["lanes"]
+            rows.append(
+                {
+                    "backend": backend,
+                    "lanes": n,
+                    "cores": cores,
+                    "served": stats["served"],
+                    "qps": round(stats["throughput_qps"], 1),
+                    "p50_ms": round(stats["p50_ms"], 1),
+                    "p95_ms": round(stats["p95_ms"], 1),
+                    "respawns": sum(lp["respawns"] for lp in lanes),
+                    "ipc_kb": round(
+                        sum(
+                            lp["ipc_bytes_out"] + lp["ipc_bytes_in"]
+                            for lp in lanes
+                        )
+                        / 1024.0,
+                        1,
+                    ),
+                }
+            )
+    emit(
+        "E17",
+        f"cache-off closed loop, {TOTAL} queries (5-queens + family), "
+        f"thread vs process lanes, {cores} cores",
+        rows,
+    )
+    # the curve is always recorded; the parallel-speedup bar is only
+    # physically meaningful on a multi-core machine
+    if cores >= 4:
+        scaling = qps[("process", 4)] / qps[("process", 1)]
+        assert scaling >= 2.0, (
+            f"process lanes scaled only {scaling:.2f}x from 1 to 4 "
+            f"lanes on {cores} cores"
+        )
+        # and the whole point: process@4 beats the thread ceiling
+        thread_best = max(v for (b, _), v in qps.items() if b == "thread")
+        assert qps[("process", 4)] > thread_best
+    # no lane child died during a clean run
+    assert all(r["respawns"] == 0 for r in rows)

@@ -100,7 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8750, help="TCP port (0 = ephemeral)")
     serve.add_argument(
         "--workers", type=int, default=4, metavar="N",
-        help="worker lanes / threads (default 4)",
+        help="worker lanes (default 4)",
+    )
+    serve.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="lane execution backend: 'thread' (shared GIL-bound executor) "
+        "or 'process' (one warm subprocess per lane — real parallelism; "
+        "see docs/API.md for when each wins)",
     )
     serve.add_argument(
         "--max-pending", type=int, default=64, metavar="N",
@@ -322,6 +328,7 @@ def _run_serve(args, out) -> int:
         n_workers=args.workers,
         max_pending=args.max_pending,
         default_timeout=args.timeout,
+        backend=args.backend,
     )
 
     async def run() -> int:
@@ -329,7 +336,8 @@ def _run_serve(args, out) -> int:
         host, port = server.sockets[0].getsockname()[:2]
         print(
             f"serving {', '.join(sorted(programs))} on {host}:{port} "
-            f"({args.workers} workers, max {args.max_pending} pending)",
+            f"({args.workers} {args.backend} lanes, "
+            f"max {args.max_pending} pending)",
             file=out,
         )
         try:

@@ -26,7 +26,13 @@ from ..logic.solver import Solver
 from ..logic.terms import Term
 from ..ortree.tree import NodeStatus, OrTree
 
-__all__ = ["ParallelAnswer", "or_parallel_solve", "or_split"]
+__all__ = [
+    "ParallelAnswer",
+    "or_parallel_solve",
+    "or_split",
+    "run_engine_query",
+    "lane_worker_main",
+]
 
 
 @dataclass
@@ -148,3 +154,172 @@ def or_parallel_solve(
         result.answers.extend(answers)
         result.per_branch_solutions.append(len(answers))
     return result
+
+
+# -- lane workers: the long-lived child behind a process lane ---------------
+#
+# The serving layer's process backend spawns one of these per lane: a
+# warm subprocess that holds the lane's programs, a mirror of each
+# program's global weight store (caught up by deltas, never reshipped
+# whole), and the session-local engines of every session routed to the
+# lane.  The parent speaks length-prefixed pickles over a duplex pipe,
+# one request at a time (lanes are serial queues, so there is never a
+# second in-flight request to interleave with).
+
+
+def run_engine_query(
+    engine_used: str,
+    blog_engine,
+    program: Program,
+    config,
+    machine_config,
+    goals,
+    max_solutions: Optional[int],
+    processes: int = 1,
+) -> tuple[list[dict[str, str]], Optional[int]]:
+    """Run one query on the chosen engine against a session's engine state.
+
+    Shared by the thread backend (called on a worker thread with the
+    router's engine) and the lane worker (called in the child with its
+    own engine); both sides stringify bindings the same way so answers
+    are backend-independent.
+    """
+    if engine_used == "blog":
+        result = blog_engine.query(goals, max_solutions=max_solutions)
+        answers = [{k: str(v) for k, v in a.items()} for a in result.answers]
+        return answers, result.expansions
+    if engine_used == "machine":
+        from dataclasses import replace as _replace
+
+        from ..machine.blog_machine import BLogMachine
+
+        store = blog_engine.store
+        tree = OrTree(
+            program,
+            goals,
+            weight_fn=store.weight_fn(),
+            arc_key_policy=config.arc_key_policy,
+            max_depth=config.max_depth,
+        )
+        cfg = machine_config
+        if max_solutions is not None:
+            cfg = _replace(cfg, max_solutions=max_solutions)
+        res = BLogMachine(cfg, store=store).run(tree)
+        answers = [{k: str(v) for k, v in a.items()} for a in res.answers]
+        return answers, res.expansions
+    if engine_used == "procpool":
+        # Inside a daemonic lane worker this must stay serial (daemons
+        # cannot fork grandchildren); processes=1 short-circuits the pool.
+        par = or_parallel_solve(
+            program,
+            goals,
+            processes=processes,
+            max_depth=config.max_depth,
+            max_solutions_per_branch=max_solutions,
+        )
+        return list(par.answers), None
+    raise ValueError(f"unknown engine {engine_used!r}")
+
+
+def lane_worker_main(conn, lane: int) -> None:  # pragma: no cover — subprocess
+    """Main loop of a process-lane worker (runs in the child).
+
+    Protocol: the parent sends one pickled dict per request and reads
+    one pickled dict back.  Ops:
+
+    * ``ping`` — liveness/pid probe;
+    * ``load_program`` — install a program + configs, create an empty
+      global-store mirror for it;
+    * ``sync_store`` — apply a weight delta to a program's mirror;
+    * ``open_session`` — begin a session (local store = mirror copy);
+    * ``query`` — execute on the named session's engine;
+    * ``close_session`` — return the session's touched-keys delta (the
+      parent merges it into the true global store);
+    * ``abandon_session`` — drop a session without a delta;
+    * ``shutdown`` — acknowledge and exit.
+
+    Any exception inside an op becomes an ``{"ok": False}`` reply; the
+    loop only exits on EOF (parent gone) or ``shutdown``.
+    """
+    import os
+    import signal
+
+    from ..logic.parser import parse_query
+    from ..weights.persist import apply_delta, store_delta
+    from ..weights.store import WeightStore
+    from .engine import BLogEngine
+
+    # The parent owns lifecycle; a stray terminal SIGINT (e.g. during
+    # pytest) must not kill lanes before the parent can shut them down.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    programs: dict[str, tuple[Program, object, object]] = {}
+    mirrors: dict[str, WeightStore] = {}
+    sessions: dict[tuple[str, str], tuple[BLogEngine, int]] = {}
+
+    def handle(msg: dict) -> dict:
+        op = msg["op"]
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid(), "lane": lane}
+        if op == "load_program":
+            name = msg["name"]
+            config = msg["config"]
+            programs[name] = (msg["program"], config, msg["machine_config"])
+            mirrors[name] = WeightStore(n=config.n, a=config.a)
+            return {"ok": True}
+        if op == "sync_store":
+            applied = apply_delta(mirrors[msg["name"]], msg["delta"])
+            return {"ok": True, "applied": applied}
+        if op == "open_session":
+            name, session = msg["name"], msg["session"]
+            program, config, _ = programs[name]
+            engine = BLogEngine(program, config, global_store=mirrors[name])
+            engine.begin_session()
+            sessions[(name, session)] = (engine, engine.store.generation)
+            return {"ok": True}
+        if op == "query":
+            name, session = msg["name"], msg["session"]
+            engine, _ = sessions[(name, session)]
+            program, config, machine_config = programs[name]
+            goals = parse_query(msg["query"])
+            answers, expansions = run_engine_query(
+                msg["engine"],
+                engine,
+                program,
+                config,
+                machine_config,
+                goals,
+                msg.get("max_solutions"),
+                processes=1,
+            )
+            return {"ok": True, "answers": answers, "expansions": expansions}
+        if op == "close_session":
+            name, session = msg["name"], msg["session"]
+            state = sessions.pop((name, session), None)
+            if state is None:
+                return {"ok": True, "delta": None}
+            engine, base_generation = state
+            delta = store_delta(engine.store, since=base_generation)
+            return {"ok": True, "delta": delta}
+        if op == "abandon_session":
+            dropped = sessions.pop((msg["name"], msg["session"]), None) is not None
+            return {"ok": True, "dropped": dropped}
+        if op == "shutdown":
+            return {"ok": True, "shutdown": True}
+        return {"ok": False, "error": f"unknown lane op {op!r}"}
+
+    while True:
+        try:
+            msg = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            return
+        try:
+            reply = handle(msg)
+        except Exception as exc:  # noqa: BLE001 — shipped to the parent
+            reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            conn.send_bytes(pickle.dumps(reply))
+        except (BrokenPipeError, OSError):
+            return
+        if reply.get("shutdown"):
+            return

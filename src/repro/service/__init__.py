@@ -2,10 +2,13 @@
 
 ``BLogService`` multiplexes many clients over named programs with
 session-affinity routing (one session, one lane, one local weight
-store), a bounded worker pool with deadlines and retry, a
-generation-guarded answer cache, queue-depth backpressure, and
-per-request tracing — in-process via ``await service.submit(...)`` or
-over a line-JSON TCP endpoint via ``serve_tcp``.
+store), a bounded worker pool with deadlines and retry over a
+pluggable lane backend (``thread``: shared GIL-bound executor;
+``process``: one warm subprocess per lane with delta-synced weight
+mirrors — real parallelism), a generation-guarded answer cache,
+queue-depth backpressure, and per-request tracing — in-process via
+``await service.submit(...)`` or over a line-JSON TCP endpoint via
+``serve_tcp``.
 """
 
 from .admission import AdmissionController, Overloaded
@@ -18,8 +21,17 @@ from .cache import (
 )
 from .router import SessionRouter, SessionState
 from .server import BLogService, ProgramEntry, QueryRequest, QueryResponse
-from .stats import ServiceStats, TraceEvent, format_stats, percentile
-from .workers import Job, QueryTimeout, WorkerDied, WorkerPool
+from .stats import ServiceStats, TraceEvent, format_lane_stats, format_stats, percentile
+from .workers import (
+    BACKENDS,
+    Job,
+    LaneBackend,
+    ProcessLaneBackend,
+    QueryTimeout,
+    ThreadLaneBackend,
+    WorkerDied,
+    WorkerPool,
+)
 
 __all__ = [
     "AdmissionController",
@@ -38,9 +50,14 @@ __all__ = [
     "ServiceStats",
     "TraceEvent",
     "format_stats",
+    "format_lane_stats",
     "percentile",
     "Job",
     "QueryTimeout",
     "WorkerDied",
     "WorkerPool",
+    "BACKENDS",
+    "LaneBackend",
+    "ThreadLaneBackend",
+    "ProcessLaneBackend",
 ]

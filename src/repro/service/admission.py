@@ -40,6 +40,10 @@ class AdmissionController:
         self.pending = 0
         self.admitted = 0
         self.rejected = 0
+        #: High-water mark of concurrent in-flight queries — the operator
+        #: signal for "how close to the bound does real traffic get"
+        #: (e.g. a respawning process lane backs its whole queue up here).
+        self.peak_pending = 0
 
     def acquire(self) -> None:
         """Admit one request or raise :class:`Overloaded`."""
@@ -48,6 +52,8 @@ class AdmissionController:
             raise Overloaded(self.pending, self.max_pending)
         self.pending += 1
         self.admitted += 1
+        if self.pending > self.peak_pending:
+            self.peak_pending = self.pending
 
     def release(self) -> None:
         """A previously admitted request finished (however it finished)."""

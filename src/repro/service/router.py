@@ -15,6 +15,16 @@ the router owns the per-session state — a :class:`BLogEngine` with an
 open session whose local store lives for the session's lifetime.  The
 hash is ``crc32``, not Python's randomized ``hash``, so placement is
 stable across runs and processes.
+
+With the *process* lane backend the session's engine and local store
+live in the lane's subprocess, not here; the router then tracks a
+:class:`SessionState` with ``engine=None`` for accounting, ships
+weight-store **deltas** (what changed since the lane's mirror last
+synced — :func:`~repro.weights.persist.store_delta` — never the whole
+store), and merges the touched-keys delta a lane returns at session
+close.  When a lane subprocess dies, every session routed to it dies
+with it: :meth:`drop_lane` discards their states without merging, so
+an abandoned session can never leak into the global store.
 """
 
 from __future__ import annotations
@@ -27,7 +37,8 @@ from typing import Optional
 from ..core.config import BLogConfig
 from ..core.engine import BLogEngine
 from ..logic.program import Program
-from ..weights.session import MergeReport
+from ..weights.persist import delta_store, store_delta
+from ..weights.session import MergeReport, merge_conservative, merge_strong
 from ..weights.store import WeightStore
 
 __all__ = ["SessionState", "SessionRouter"]
@@ -35,18 +46,21 @@ __all__ = ["SessionState", "SessionRouter"]
 
 @dataclass
 class SessionState:
-    """One live session: its engine (holding the local store) and accounting."""
+    """One live session: its engine (holding the local store, for thread
+    lanes; ``None`` when the state lives in a lane subprocess) and
+    accounting."""
 
     program: str
     session: str
-    engine: BLogEngine
+    engine: Optional[BLogEngine]
     lane: int
+    remote: bool = False  # True: engine/local store live in the lane child
     created_at: float = field(default_factory=time.monotonic)
     queries: int = 0
 
     @property
-    def local_store(self) -> WeightStore:
-        return self.engine.store
+    def local_store(self) -> Optional[WeightStore]:
+        return self.engine.store if self.engine is not None else None
 
 
 class SessionRouter:
@@ -116,6 +130,85 @@ class SessionRouter:
         report = state.engine.end_session(conservative=conservative)
         self.sessions_merged += 1
         return report
+
+    # -- process-lane sessions ---------------------------------------------
+    def open_remote(self, program_name: str, session: str) -> SessionState:
+        """The state of a session whose engine lives in a lane subprocess,
+        opening it on first touch.  Pure parent-side accounting — the
+        caller is responsible for telling the lane child to open its
+        engine (and for shipping it the store delta first)."""
+        key = (program_name, session)
+        state = self._sessions.get(key)
+        if state is None:
+            state = SessionState(
+                program=program_name,
+                session=session,
+                engine=None,
+                lane=self.lane_for(session),
+                remote=True,
+            )
+            self._sessions[key] = state
+            self.sessions_opened += 1
+        return state
+
+    def store_sync(
+        self, global_store: WeightStore, synced_generation: Optional[int]
+    ) -> Optional[dict]:
+        """The delta a lane mirror needs to catch up to ``global_store``,
+        or None when it is already current.
+
+        ``synced_generation=None`` means the lane has never synced this
+        program: the delta is the full entry set.  This is the "ship
+        deltas, not stores" half of the session-open protocol; after a
+        few sessions the typical open ships only the keys the previous
+        merges actually moved.
+        """
+        if synced_generation is not None and (
+            synced_generation >= global_store.generation
+        ):
+            return None
+        return store_delta(global_store, since=synced_generation)
+
+    def close_remote(
+        self,
+        program_name: str,
+        session: str,
+        delta: Optional[dict],
+        global_store: WeightStore,
+        alpha: float = 0.5,
+        conservative: bool = True,
+    ) -> Optional[MergeReport]:
+        """End a process-lane session: merge the touched-keys delta its
+        lane child shipped back into the global store (same §5 policy as
+        a thread-lane merge) and drop the state.  ``delta=None`` (the
+        child had no such session, e.g. it respawned) just drops the
+        state — an abandoned session is never merged.
+        """
+        state = self._sessions.pop((program_name, session), None)
+        if state is None:
+            return None
+        if delta is None:
+            return None
+        local = delta_store(delta)
+        if conservative:
+            report = merge_conservative(global_store, local, alpha)
+        else:
+            report = merge_strong(global_store, local)
+        self.sessions_merged += 1
+        return report
+
+    def drop_lane(self, lane: int) -> int:
+        """Abandon every session routed to ``lane`` (no merges).
+
+        Called when a lane subprocess dies or is killed after a
+        timeout: the child held these sessions' engines and local
+        stores, so there is nothing trustworthy left to merge.  The
+        next query of each session opens a fresh state.
+        """
+        doomed = [k for k, s in self._sessions.items() if s.lane == lane]
+        for k in doomed:
+            del self._sessions[k]
+        return len(doomed)
 
     def abandon(self, program_name: str, session: str) -> bool:
         """Drop a session *without* merging.

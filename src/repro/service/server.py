@@ -14,9 +14,17 @@ Concurrency contract (who touches what, from where):
 * The **event loop thread** is the only mutator of global weight
   stores: sessions open (copy global → local) and merge (local →
   global) there, serialized per lane.
-* **Worker threads** execute queries and touch only the session-local
-  store of the session they were routed for; the router's lane affinity
-  guarantees at most one in-flight query per session.
+* **Worker threads** (``backend="thread"``) execute queries and touch
+  only the session-local store of the session they were routed for;
+  the router's lane affinity guarantees at most one in-flight query
+  per session.
+* **Lane subprocesses** (``backend="process"``) hold their sessions'
+  engines and local stores outright; the loop ships them weight-store
+  *deltas* on session open and merges the touched-keys delta they
+  return at close.  A dead or hung child is killed, respawned warm,
+  and the in-flight query replayed exactly once against a freshly
+  opened session; every other session that lived in the dead child is
+  abandoned, never merged.
 * The answer cache and stats are loop-thread-only.
 
 Request lifecycle: admission (bounded pending, explicit
@@ -33,16 +41,15 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Union
 
 from ..core.config import BLogConfig
-from ..core.procpool import or_parallel_solve
+from ..core.procpool import run_engine_query
 from ..logic.parser import ParseError, parse_query
 from ..logic.program import Program
 from ..logic.terms import Term
-from ..machine.blog_machine import BLogMachine, MachineConfig
-from ..ortree.tree import OrTree
+from ..machine.blog_machine import MachineConfig
 from ..weights.session import MergeReport
 from ..weights.store import WeightStore
 from .admission import AdmissionController, Overloaded
@@ -136,6 +143,13 @@ class BLogService:
         to the sequential engine; defaults to ``2 * n_workers``.
     processes:
         Process count for the ``procpool`` engine's OR split.
+    backend:
+        Lane execution backend: ``"thread"`` (shared GIL-bound
+        executor, zero serialization) or ``"process"`` (one warm
+        subprocess per lane, genuinely parallel engine work; E17).
+    mp_context:
+        multiprocessing start method for process lanes (default: fork
+        where available, else spawn).
     """
 
     def __init__(
@@ -149,6 +163,8 @@ class BLogService:
         default_timeout: float = 30.0,
         degrade_pending: Optional[int] = None,
         processes: int = 2,
+        backend: str = "thread",
+        mp_context: Optional[str] = None,
     ):
         self.config = config if config is not None else BLogConfig()
         self.machine_config = (
@@ -163,8 +179,13 @@ class BLogService:
             int(degrade_pending) if degrade_pending is not None else 2 * self.n_workers
         )
         self.processes = int(processes)
+        self.backend = backend
         self.router = SessionRouter(self.n_workers)
-        self.pool = WorkerPool(self.n_workers)
+        self.pool = WorkerPool(self.n_workers, backend=backend, mp_context=mp_context)
+        self.lane_resets = 0
+        self.sessions_abandoned = 0
+        if backend == "process":
+            self.pool.backend.on_lane_reset = self._on_lane_reset
         self.admission = AdmissionController(max_pending)
         self.cache = AnswerCache(cache_capacity)
         self.stats_agg = ServiceStats()
@@ -253,19 +274,53 @@ class BLogService:
             engine_used = "blog"
             degraded = True
 
-        state = self.router.open(
-            entry.name, request.session, entry.program, entry.global_store, self.config
-        )
-        state.queries += 1
         timeout = request.timeout if request.timeout is not None else self.default_timeout
+        lane = self.router.lane_for(request.session)
 
-        async def run(job: Job):
-            return await self.pool.run_sync(
-                job, lambda: self._execute(engine_used, state, entry, goals, request),
-                timeout,
+        if self.backend == "process":
+            # Session state lives in the lane subprocess; everything —
+            # opening included — happens inside the job so a replay
+            # after a worker death re-opens against the fresh child.
+            async def run(job: Job):
+                attempts = 0
+                while True:
+                    attempts += 1
+                    try:
+                        await self._remote_prepare(lane, entry, request.session)
+                        reply = await self.pool.remote_call(
+                            lane,
+                            {
+                                "op": "query",
+                                "name": entry.name,
+                                "session": request.session,
+                                "engine": engine_used,
+                                "query": request.query,
+                                "max_solutions": request.max_solutions,
+                            },
+                            timeout,
+                        )
+                        return reply["answers"], reply.get("expansions")
+                    except WorkerDied:
+                        if attempts > 1:
+                            raise
+                        job.retries += 1
+
+        else:
+            state = self.router.open(
+                entry.name, request.session, entry.program,
+                entry.global_store, self.config,
             )
+            state.queries += 1
 
-        job = self.pool.submit(state.lane, run)
+            async def run(job: Job):
+                return await self.pool.run_sync(
+                    job,
+                    lambda: self._execute(engine_used, state, entry, goals, request),
+                    timeout,
+                    lane=lane,
+                )
+
+        job = self.pool.submit(lane, run)
         try:
             answers, expansions = await job.future
         except QueryTimeout as exc:
@@ -298,6 +353,59 @@ class BLogService:
             degraded=degraded, job=job, expansions=expansions,
         )
 
+    # -- process-lane plumbing (event-loop only) ---------------------------
+    def _on_lane_reset(self, lane: int) -> None:
+        """A lane subprocess was killed/respawned: its child-side session
+        state is gone, so the sessions routed there are abandoned —
+        dropped without merging (their learning died with the child)."""
+        self.lane_resets += 1
+        self.sessions_abandoned += self.router.drop_lane(lane)
+
+    async def _remote_prepare(self, lane: int, entry: ProgramEntry, session: str) -> None:
+        """Bring a lane child up to date for one session's query: install
+        the program (once per child epoch), ship the global-store delta
+        its mirror is missing, and open the session child-side.  All
+        three are idempotent per child and skipped when already done —
+        the steady-state cost is the delta check, an integer compare.
+
+        Runs inside the session's lane job, so it cannot interleave with
+        other work on the same lane.
+        """
+        lp = self.pool.lane_process(lane)
+        if entry.name not in lp.loaded:
+            await self.pool.remote_call(
+                lane,
+                {
+                    "op": "load_program",
+                    "name": entry.name,
+                    "program": entry.program,
+                    "config": entry.config,
+                    "machine_config": entry.machine_config,
+                },
+                self.default_timeout,
+            )
+            lp.loaded.add(entry.name)
+            lp.synced_gen.pop(entry.name, None)
+        delta = self.router.store_sync(
+            entry.global_store, lp.synced_gen.get(entry.name)
+        )
+        if delta is not None:
+            await self.pool.remote_call(
+                lane,
+                {"op": "sync_store", "name": entry.name, "delta": delta},
+                self.default_timeout,
+            )
+            lp.synced_gen[entry.name] = entry.global_store.generation
+        state = self.router.open_remote(entry.name, session)
+        state.queries += 1
+        if (entry.name, session) not in lp.open_sessions:
+            await self.pool.remote_call(
+                lane,
+                {"op": "open_session", "name": entry.name, "session": session},
+                self.default_timeout,
+            )
+            lp.open_sessions.add((entry.name, session))
+
     async def end_session(
         self, program: str, session: str, conservative: bool = True
     ) -> Optional[MergeReport]:
@@ -307,27 +415,68 @@ class BLogService:
         The merge runs as a job on the session's own lane, so it
         serializes behind any in-flight query of that session; the merge
         body itself executes on the event loop (global stores are
-        loop-thread-only).
+        loop-thread-only).  For process lanes the lane child ships back
+        the session's touched-keys delta and the merge applies it here;
+        if the child died, the session is abandoned (None), never merged.
         """
         if self.router.get(program, session) is None:
             return None
         lane = self.router.lane_for(session)
+        entry = self.programs.get(program)
 
-        async def run(job: Job) -> Optional[MergeReport]:
-            return self.router.close(program, session, conservative=conservative)
+        if self.backend == "process":
+
+            async def run(job: Job) -> Optional[MergeReport]:
+                lp = self.pool.lane_process(lane)
+                if (program, session) not in lp.open_sessions:
+                    # parent knows the session but the child lost it
+                    # (respawn since): abandoned, nothing to merge
+                    self.router.close_remote(program, session, None, entry.global_store)
+                    return None
+                try:
+                    reply = await self.pool.remote_call(
+                        lane,
+                        {"op": "close_session", "name": program, "session": session},
+                        self.default_timeout,
+                    )
+                    delta = reply.get("delta")
+                except WorkerDied:
+                    # the child died holding the local store: the lane
+                    # reset already dropped the router state — abandoned
+                    return None
+                lp.open_sessions.discard((program, session))
+                return self.router.close_remote(
+                    program,
+                    session,
+                    delta,
+                    entry.global_store,
+                    alpha=entry.config.alpha,
+                    conservative=conservative,
+                )
+
+        else:
+
+            async def run(job: Job) -> Optional[MergeReport]:
+                return self.router.close(program, session, conservative=conservative)
 
         job = self.pool.submit(lane, run)
         return await job.future
 
     def stats(self) -> dict:
-        """Operator-facing counters: latency, throughput, cache, admission."""
+        """Operator-facing counters: latency, throughput, cache, admission,
+        and per-lane backend health (respawns, IPC bytes)."""
         return {
             **self.stats_agg.summary(),
             "cache": self.cache.stats(),
             "pending": self.admission.pending,
+            "peak_pending": self.admission.peak_pending,
             "admitted": self.admission.admitted,
             "sessions_open": len(self.router),
             "sessions_merged": self.router.sessions_merged,
+            "sessions_abandoned": self.sessions_abandoned,
+            "backend": self.backend,
+            "lane_resets": self.lane_resets,
+            "lanes": self.pool.lane_stats(),
             "programs": sorted(self.programs),
         }
 
@@ -341,37 +490,20 @@ class BLogService:
         request: QueryRequest,
     ) -> tuple[list[dict[str, str]], Optional[int]]:
         """Run one query on the chosen engine.  Worker-thread code: may
-        touch only the session-local store (``state.engine.store``)."""
-        if engine_used == "blog":
-            result = state.engine.query(goals, max_solutions=request.max_solutions)
-            answers = [
-                {k: str(v) for k, v in a.items()} for a in result.answers
-            ]
-            return answers, result.expansions
-        if engine_used == "machine":
-            store = state.engine.store
-            tree = OrTree(
-                entry.program,
-                goals,
-                weight_fn=store.weight_fn(),
-                arc_key_policy=entry.config.arc_key_policy,
-                max_depth=entry.config.max_depth,
-            )
-            cfg = entry.machine_config
-            if request.max_solutions is not None:
-                cfg = replace(cfg, max_solutions=request.max_solutions)
-            res = BLogMachine(cfg, store=store).run(tree)
-            answers = [{k: str(v) for k, v in a.items()} for a in res.answers]
-            return answers, res.expansions
-        # procpool: OR split over OS processes; no weight learning
-        par = or_parallel_solve(
+        touch only the session-local store (``state.engine.store``).
+        The same executor runs inside a lane subprocess for the process
+        backend (:func:`~repro.core.procpool.run_engine_query`), which is
+        what makes the two backends answer-identical."""
+        return run_engine_query(
+            engine_used,
+            state.engine,
             entry.program,
+            entry.config,
+            entry.machine_config,
             goals,
+            request.max_solutions,
             processes=self.processes,
-            max_depth=entry.config.max_depth,
-            max_solutions_per_branch=request.max_solutions,
         )
-        return list(par.answers), None
 
     # -- plumbing ----------------------------------------------------------
     def _parse(self, query: str) -> tuple[Term, ...]:

@@ -13,20 +13,36 @@ event-loop thread only, so plain counters suffice.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["TraceEvent", "ServiceStats", "percentile", "format_stats"]
+__all__ = [
+    "TraceEvent",
+    "ServiceStats",
+    "percentile",
+    "format_stats",
+    "format_lane_stats",
+]
 
 
 def percentile(values: list[float], q: float) -> float:
-    """The q-th percentile (0..100) by linear interpolation; 0.0 when empty."""
-    if not values:
+    """The q-th percentile (0..100) by linear interpolation; 0.0 when empty.
+
+    Hardened edges (each pinned by a regression test): the input need
+    not be sorted; a single sample is returned for any q; q is clamped
+    into [0, 100] (so q=0 is the min and q=100 exactly the max, never
+    an index error or a wrapped-around ``xs[-1]``); NaN samples are
+    dropped so the result is NaN-free whenever any finite sample
+    exists.
+    """
+    xs = sorted(v for v in values if not math.isnan(v))
+    if not xs:
         return 0.0
-    xs = sorted(values)
     if len(xs) == 1:
         return xs[0]
+    q = min(100.0, max(0.0, q))
     pos = (q / 100.0) * (len(xs) - 1)
     lo = int(pos)
     hi = min(lo + 1, len(xs) - 1)
@@ -107,8 +123,28 @@ class ServiceStats:
         }
 
 
+def format_lane_stats(lanes: list[dict]) -> str:
+    """One line per lane: backend, call count, respawns, IPC traffic."""
+    out = []
+    for lane in lanes:
+        line = (
+            f"lane {lane['lane']} [{lane['backend']}]  "
+            f"calls {lane.get('calls', 0)}  respawns {lane.get('respawns', 0)}"
+        )
+        ipc = lane.get("ipc_bytes_out", 0) + lane.get("ipc_bytes_in", 0)
+        if ipc:
+            line += (
+                f"  ipc {lane['ipc_bytes_out']}B out / {lane['ipc_bytes_in']}B in"
+            )
+        if lane.get("pid") is not None:
+            line += f"  pid {lane['pid']}"
+        out.append(line)
+    return "\n".join(out)
+
+
 def format_stats(summary: dict) -> str:
-    """Human-readable one-screen rendering of :meth:`ServiceStats.summary`."""
+    """Human-readable one-screen rendering of :meth:`BLogService.stats`
+    (or a bare :meth:`ServiceStats.summary`)."""
     lines = [
         f"served {summary['served']}  errors {summary['errors']}  "
         f"rejected {summary['rejected']}",
@@ -121,4 +157,12 @@ def format_stats(summary: dict) -> str:
         "engines: "
         + ", ".join(f"{k}={v}" for k, v in sorted(summary["by_engine"].items())),
     ]
+    if "backend" in summary:
+        lines.append(
+            f"backend {summary['backend']}  "
+            f"lane resets {summary.get('lane_resets', 0)}  "
+            f"sessions abandoned {summary.get('sessions_abandoned', 0)}"
+        )
+    if summary.get("lanes"):
+        lines.append(format_lane_stats(summary["lanes"]))
     return "\n".join(lines)

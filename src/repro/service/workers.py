@@ -1,4 +1,4 @@
-"""The bounded worker pool: serial lanes over a thread executor.
+"""The bounded worker pool: serial lanes over a pluggable execution backend.
 
 Execution model
 ---------------
@@ -8,31 +8,60 @@ what makes session-local weight stores safe without locks — a session's
 queries can never run concurrently with each other (nor with that
 session's end-of-session merge, which is enqueued on the same lane).
 
-The actual query execution is synchronous, CPU-bound engine code, so a
-lane hands it to a shared :class:`~concurrent.futures.ThreadPoolExecutor`
-(one thread per lane) and awaits it with a deadline.  Failure handling:
+What actually executes a lane's work is a :class:`LaneBackend`:
 
-* **timeout** — the await is abandoned and the request fails with
-  :class:`QueryTimeout`.  (The worker thread itself cannot be killed;
-  it finishes into a dropped future.  The admission bound still holds
-  because the request releases its slot on the way out.)
-* **worker death** — an execution that raises :class:`WorkerDied`
-  (a crashed OR-split worker process, an injected fault) is retried
-  exactly once on the same lane; a second death fails the request.
+* ``thread`` — the historical backend: synchronous engine code runs on
+  a shared :class:`~concurrent.futures.ThreadPoolExecutor` (one thread
+  per lane).  Cheap, zero serialization, but the GIL serializes the
+  CPU-bound engine work, so cache-off throughput is flat no matter how
+  many lanes exist (measured as E16).
+* ``process`` — each lane owns a warm, long-lived worker subprocess
+  (spawned once at pool start, reused across queries) holding the
+  lane's programs and session-local weight stores; the event loop
+  speaks to it over a pickled request/response pipe.  Genuinely
+  independent execution state, the way the paper's MIMD processors
+  are independent — measured as E17.
+
+Failure handling:
+
+* **timeout** — thread: the await is abandoned and the request fails
+  with :class:`QueryTimeout` (the worker thread cannot be killed; it
+  finishes into a dropped future).  process: the lane subprocess *is*
+  killed and respawned — the lane is immediately healthy again, at the
+  cost of the child-side sessions that lived in it (the reset callback
+  lets the router drop them so they are never merged).
+* **worker death** — an execution that raises :class:`WorkerDied` (a
+  SIGKILLed lane subprocess, an injected fault) is retried exactly once;
+  a second death fails the request.  For process lanes the dead child
+  is respawned before the retry, and the retry replays the in-flight
+  query against a freshly opened session.
 
 Queue-wait per job is measured here (enqueue → start) and surfaced to
-the stats layer.
+the stats layer, as are per-lane respawn and IPC byte counters.
 """
 
 from __future__ import annotations
 
 import asyncio
+import multiprocessing as mp
+import pickle
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Optional
 
-__all__ = ["WorkerDied", "QueryTimeout", "Job", "WorkerPool"]
+__all__ = [
+    "WorkerDied",
+    "QueryTimeout",
+    "Job",
+    "WorkerPool",
+    "LaneBackend",
+    "ThreadLaneBackend",
+    "ProcessLaneBackend",
+    "BACKENDS",
+]
+
+BACKENDS = ("thread", "process")
 
 
 class WorkerDied(RuntimeError):
@@ -60,25 +89,277 @@ class Job:
         return self.started_at - self.enqueued_at
 
 
-class WorkerPool:
-    """``n_lanes`` serial queues over a shared thread executor."""
+# -- backends ---------------------------------------------------------------
 
-    def __init__(self, n_lanes: int):
+
+class LaneBackend:
+    """How a lane's work is executed; see the module docstring."""
+
+    kind: str = "?"
+
+    async def start(self, n_lanes: int) -> None:
+        raise NotImplementedError
+
+    async def stop(self) -> None:
+        raise NotImplementedError
+
+    def lane_stats(self) -> list[dict]:
+        """Per-lane operator counters (backend, respawns, IPC bytes)."""
+        raise NotImplementedError
+
+
+class ThreadLaneBackend(LaneBackend):
+    """One worker thread per lane on a shared executor (GIL-bound)."""
+
+    kind = "thread"
+
+    def __init__(self) -> None:
+        self.executor: Optional[ThreadPoolExecutor] = None
+        self._n_lanes = 0
+        self._calls: list[int] = []
+
+    async def start(self, n_lanes: int) -> None:
+        self._n_lanes = n_lanes
+        self._calls = [0] * n_lanes
+        self.executor = ThreadPoolExecutor(
+            max_workers=n_lanes, thread_name_prefix="blog-worker"
+        )
+
+    async def stop(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+            self.executor = None
+
+    def count_call(self, lane: int) -> None:
+        if 0 <= lane < len(self._calls):
+            self._calls[lane] += 1
+
+    def lane_stats(self) -> list[dict]:
+        return [
+            {
+                "lane": i,
+                "backend": self.kind,
+                "calls": self._calls[i] if i < len(self._calls) else 0,
+                "respawns": 0,
+                "ipc_bytes_out": 0,
+                "ipc_bytes_in": 0,
+            }
+            for i in range(self._n_lanes)
+        ]
+
+
+class _LaneProcess:
+    """Parent-side handle of one lane subprocess: pipe, counters, and the
+    parent's view of what the child currently holds."""
+
+    def __init__(self, lane: int, ctx) -> None:
+        self.lane = lane
+        self._ctx = ctx
+        self.proc = None
+        self.conn = None
+        self.epoch = 0  # bumped per (re)spawn; resets the views below
+        self.respawns = 0
+        self.calls = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+        # what the current child has been told, maintained by the server:
+        self.loaded: set[str] = set()  # program names installed
+        self.synced_gen: dict[str, int] = {}  # program -> mirror generation
+        self.open_sessions: set[tuple[str, str]] = set()
+        # parent ends of pipes whose reader thread may still be blocked in
+        # recv when the lane is reset; closed at pool stop, not mid-read
+        self.retired_conns: list = []
+
+    def spawn(self) -> None:
+        from ..core.procpool import lane_worker_main
+
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        self.proc = self._ctx.Process(
+            target=lane_worker_main,
+            args=(child_conn, self.lane),
+            name=f"blog-lane-{self.lane}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()  # the child's copy is the only live one now
+        self.conn = parent_conn
+        self.epoch += 1
+        self.loaded = set()
+        self.synced_gen = {}
+        self.open_sessions = set()
+
+    def roundtrip(self, payload: bytes) -> bytes:
+        """Blocking send+recv (runs on the pool's IO executor)."""
+        conn = self.conn
+        conn.send_bytes(payload)
+        return conn.recv_bytes()
+
+    def reset(self) -> None:
+        """Kill the child (if any) and bring up a fresh one."""
+        if self.proc is not None and self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+        if self.conn is not None:
+            # a timed-out reader thread may still be blocked inside
+            # recv_bytes on this connection; closing it under the reader
+            # races fd reuse, so retire it and close at pool stop (the
+            # dead child's end is closed, so the reader gets EOF anyway)
+            self.retired_conns.append(self.conn)
+            self.conn = None
+        self.respawns += 1
+        self.spawn()
+
+    def shutdown(self) -> None:
+        if self.proc is None:
+            return
+        try:
+            if self.proc.is_alive() and self.conn is not None:
+                self.conn.send_bytes(pickle.dumps({"op": "shutdown"}))
+                self.proc.join(timeout=1.0)
+        except (BrokenPipeError, OSError):
+            pass
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+        for conn in self.retired_conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.retired_conns = []
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+        self.proc = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+
+class ProcessLaneBackend(LaneBackend):
+    """One warm, long-lived subprocess per lane, spoken to over a pipe."""
+
+    kind = "process"
+
+    def __init__(self, mp_context: Optional[str] = None) -> None:
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(mp_context)
+        self.mp_context = mp_context
+        self.lanes: list[_LaneProcess] = []
+        self._io: Optional[ThreadPoolExecutor] = None
+        #: called with the lane index after a kill/respawn, before the
+        #: triggering exception propagates; the service drops the lane's
+        #: router sessions here so a lost child is never merged
+        self.on_lane_reset: Optional[Callable[[int], None]] = None
+
+    async def start(self, n_lanes: int) -> None:
+        self._io = ThreadPoolExecutor(
+            max_workers=n_lanes, thread_name_prefix="blog-lane-io"
+        )
+        self.lanes = [_LaneProcess(i, self._ctx) for i in range(n_lanes)]
+        for lp in self.lanes:
+            lp.spawn()
+
+    async def stop(self) -> None:
+        for lp in self.lanes:
+            lp.shutdown()
+        self.lanes = []
+        if self._io is not None:
+            self._io.shutdown(wait=False, cancel_futures=True)
+            self._io = None
+
+    def _reset(self, lane: int) -> None:
+        self.lanes[lane].reset()
+        if self.on_lane_reset is not None:
+            self.on_lane_reset(lane)
+
+    async def call(
+        self, lane: int, msg: dict, timeout: Optional[float]
+    ) -> dict:
+        """One request/response roundtrip with the lane's child.
+
+        * deadline missed → the child is killed and respawned (the lane
+          must come back healthy; a hung child cannot be un-hung), then
+          :class:`QueryTimeout`;
+        * pipe breaks (child died) → respawn, then :class:`WorkerDied`
+          so the caller can replay exactly once.
+        """
+        lp = self.lanes[lane]
+        payload = pickle.dumps(msg)
+        loop = asyncio.get_running_loop()
+        try:
+            raw = await asyncio.wait_for(
+                loop.run_in_executor(self._io, lp.roundtrip, payload), timeout
+            )
+        except asyncio.TimeoutError:
+            self._reset(lane)
+            raise QueryTimeout(
+                f"lane {lane} request exceeded its {timeout:g}s deadline "
+                "(worker respawned)"
+            ) from None
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            self._reset(lane)
+            raise WorkerDied(
+                f"lane {lane} subprocess died mid-request: {type(exc).__name__}"
+            ) from None
+        lp.calls += 1
+        lp.bytes_out += len(payload)
+        lp.bytes_in += len(raw)
+        reply = pickle.loads(raw)
+        if not reply.get("ok", False):
+            raise RuntimeError(reply.get("error", "lane worker error"))
+        return reply
+
+    def lane_stats(self) -> list[dict]:
+        return [
+            {
+                "lane": lp.lane,
+                "backend": self.kind,
+                "calls": lp.calls,
+                "respawns": lp.respawns,
+                "ipc_bytes_out": lp.bytes_out,
+                "ipc_bytes_in": lp.bytes_in,
+                "pid": lp.pid,
+            }
+            for lp in self.lanes
+        ]
+
+
+# -- the pool ---------------------------------------------------------------
+
+
+class WorkerPool:
+    """``n_lanes`` serial queues over a pluggable lane backend."""
+
+    def __init__(
+        self,
+        n_lanes: int,
+        backend: str = "thread",
+        mp_context: Optional[str] = None,
+    ):
         if n_lanes < 1:
             raise ValueError("need at least one lane")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, not {backend!r}")
         self.n_lanes = int(n_lanes)
+        self.backend_name = backend
+        if backend == "process":
+            self.backend: LaneBackend = ProcessLaneBackend(mp_context)
+        else:
+            self.backend = ThreadLaneBackend()
         self._queues: list[asyncio.Queue] = []
         self._tasks: list[asyncio.Task] = []
-        self._executor: Optional[ThreadPoolExecutor] = None
         self.started = False
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
         if self.started:
             return
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.n_lanes, thread_name_prefix="blog-worker"
-        )
+        await self.backend.start(self.n_lanes)
         self._queues = [asyncio.Queue() for _ in range(self.n_lanes)]
         self._tasks = [
             asyncio.create_task(self._lane_main(q), name=f"blog-lane-{i}")
@@ -92,9 +373,7 @@ class WorkerPool:
         for q in self._queues:
             q.put_nowait(None)  # sentinel: drain then exit
         await asyncio.gather(*self._tasks, return_exceptions=True)
-        assert self._executor is not None
-        self._executor.shutdown(wait=False, cancel_futures=True)
-        self._executor = None
+        await self.backend.stop()
         self._tasks = []
         self._queues = []
         self.started = False
@@ -111,23 +390,30 @@ class WorkerPool:
     def depth(self, lane: int) -> int:
         return self._queues[lane].qsize() if self.started else 0
 
-    # -- execution helpers -------------------------------------------------
+    def lane_stats(self) -> list[dict]:
+        return self.backend.lane_stats()
+
+    # -- thread-backend execution ------------------------------------------
     async def run_sync(
         self,
         job: Job,
         fn: Callable[[], Any],
         timeout: Optional[float],
+        lane: Optional[int] = None,
     ) -> Any:
-        """Run ``fn`` on the executor with a deadline and one retry on
-        :class:`WorkerDied`; meant to be called from a job's ``run``."""
-        assert self._executor is not None
+        """Run ``fn`` on the thread executor with a deadline and one retry
+        on :class:`WorkerDied`; meant to be called from a job's ``run``."""
+        backend = self.backend
+        assert isinstance(backend, ThreadLaneBackend) and backend.executor is not None
         loop = asyncio.get_running_loop()
         attempts = 0
         while True:
             attempts += 1
             try:
+                if lane is not None:
+                    backend.count_call(lane)
                 return await asyncio.wait_for(
-                    loop.run_in_executor(self._executor, fn), timeout
+                    loop.run_in_executor(backend.executor, fn), timeout
                 )
             except asyncio.TimeoutError:
                 raise QueryTimeout(
@@ -137,6 +423,26 @@ class WorkerPool:
                 if attempts > 1:
                     raise
                 job.retries += 1
+
+    # -- process-backend execution -----------------------------------------
+    async def remote_call(
+        self, lane: int, msg: dict, timeout: Optional[float]
+    ) -> dict:
+        """One pickled request/response with a process lane's child."""
+        backend = self.backend
+        assert isinstance(backend, ProcessLaneBackend)
+        return await backend.call(lane, msg, timeout)
+
+    def lane_process(self, lane: int) -> _LaneProcess:
+        backend = self.backend
+        assert isinstance(backend, ProcessLaneBackend)
+        return backend.lanes[lane]
+
+    def lane_pid(self, lane: int) -> Optional[int]:
+        """PID of a process lane's child (None for the thread backend)."""
+        if isinstance(self.backend, ProcessLaneBackend):
+            return self.backend.lanes[lane].pid
+        return None
 
     # -- lane loop ---------------------------------------------------------
     async def _lane_main(self, queue: asyncio.Queue) -> None:

@@ -20,9 +20,19 @@ from typing import Union
 
 from ..logic.parser import parse_term
 from ..ortree.tree import ArcKey, canonical_goal
-from .store import WeightState, WeightStore
+from .store import WeightEntry, WeightState, WeightStore
 
-__all__ = ["save_store", "load_store", "store_to_dict", "store_from_dict"]
+__all__ = [
+    "save_store",
+    "load_store",
+    "store_to_dict",
+    "store_from_dict",
+    "store_delta",
+    "apply_delta",
+    "delta_store",
+]
+
+DELTA_FORMAT = "blog-weights-delta-v1"
 
 
 def _key_to_json(key: ArcKey) -> dict:
@@ -79,6 +89,90 @@ def store_from_dict(data: dict) -> WeightStore:
             store.set_known(key, item["value"])
         # UNKNOWN entries are never stored
     return store
+
+
+def store_delta(store: WeightStore, since: Union[int, None] = None) -> dict:
+    """What changed in ``store`` after generation ``since``.
+
+    ``since=None`` means "everything": the full entry set, for a reader
+    that has no mirror yet.  The delta is JSON-ready (same key encoding
+    as :func:`store_to_dict`) and carries UNKNOWN *tombstones* for keys
+    that were dropped (``forget`` / ``clear``) so a mirror applies the
+    removal too.  This is what the serving layer ships to a process
+    lane on session open — the lane's mirror catches up from whatever
+    generation it last saw, instead of receiving the whole store — and
+    what a lane ships back on session close (the session's touched keys
+    only).
+    """
+    if since is None:
+        keys = list(store.keys())
+    else:
+        keys = store.modified_since(int(since))
+    entries = []
+    for key in keys:
+        entry = store.entry(key)
+        entries.append(
+            {
+                "key": _key_to_json(key),
+                "state": entry.state.value,
+                "value": entry.value,
+            }
+        )
+    return {
+        "format": DELTA_FORMAT,
+        "base": since,
+        "generation": store.generation,
+        "n": store.n,
+        "a": store.a,
+        "entries": entries,
+    }
+
+
+def apply_delta(store: WeightStore, delta: dict) -> int:
+    """Apply a :func:`store_delta` to a mirror in place.
+
+    Entries are written directly (UNKNOWN tombstones delete) and the
+    mirror's generation jumps to the delta's source generation, so a
+    later ``store_delta(source, since=mirror.generation)`` yields
+    exactly what the mirror still misses.  Returns how many entries
+    were applied.
+    """
+    if delta.get("format") != DELTA_FORMAT:
+        raise ValueError(f"unrecognized weight delta format {delta.get('format')!r}")
+    generation = int(delta["generation"])
+    applied = 0
+    for item in delta["entries"]:
+        key = _key_from_json(item["key"])
+        state = WeightState(item["state"])
+        if state is WeightState.UNKNOWN:
+            store._entries.pop(key, None)
+        else:
+            store._entries[key] = WeightEntry(state, float(item["value"]))
+        store._modified[key] = generation
+        applied += 1
+    store.generation = generation
+    return applied
+
+
+def delta_store(delta: dict) -> WeightStore:
+    """A standalone store holding just a delta's non-tombstone entries.
+
+    Shaped for :func:`~repro.weights.session.merge_conservative`: the
+    end-of-session merge iterates the local store's keys, and for a
+    process-lane session the "local store" the parent sees *is* the
+    delta the lane shipped back.  UNKNOWN tombstones are omitted —
+    both merge policies treat a local UNKNOWN as "session learned
+    nothing here".
+    """
+    out = WeightStore(n=delta["n"], a=delta["a"])
+    for item in delta["entries"]:
+        state = WeightState(item["state"])
+        if state is WeightState.UNKNOWN:
+            continue
+        key = _key_from_json(item["key"])
+        out._entries[key] = WeightEntry(state, float(item["value"]))
+        out._modified[key] = out.generation = out.generation + 1
+    return out
 
 
 def save_store(store: WeightStore, path: Union[str, Path]) -> None:

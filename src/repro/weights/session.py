@@ -29,7 +29,7 @@ INFINITE           INFINITE           unchanged
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..ortree.tree import ArcKey
 from .store import WeightState, WeightStore
@@ -52,12 +52,22 @@ def merge_conservative(
     global_store: WeightStore,
     local_store: WeightStore,
     alpha: float = 0.5,
+    keys: Optional[Iterable[ArcKey]] = None,
 ) -> MergeReport:
-    """Apply the §5 conservative end-of-session merge in place."""
+    """Apply the §5 conservative end-of-session merge in place.
+
+    ``keys`` restricts the merge to the given keys — the session's
+    *touched* set.  The paper keeps session updates "in a separate
+    buffer"; merging only what the session actually wrote means a key
+    another session merged mid-way is not dragged back toward the stale
+    copy this session inherited at open.  ``None`` merges every local
+    key (the historical behavior, still right when the local store *is*
+    the buffer of updates).
+    """
     if not 0.0 < alpha <= 1.0:
         raise ValueError("alpha must be in (0, 1]")
     report = MergeReport()
-    for key in list(local_store.keys()):
+    for key in list(local_store.keys()) if keys is None else list(keys):
         local = local_store.entry(key)
         if local.state is WeightState.UNKNOWN:
             report.unchanged += 1
@@ -86,11 +96,15 @@ def merge_conservative(
     return report
 
 
-def merge_strong(global_store: WeightStore, local_store: WeightStore) -> MergeReport:
+def merge_strong(
+    global_store: WeightStore,
+    local_store: WeightStore,
+    keys: Optional[Iterable[ArcKey]] = None,
+) -> MergeReport:
     """The non-conservative alternative (E4 ablation): local wins outright,
     including infinities overriding known weights."""
     report = MergeReport()
-    for key in list(local_store.keys()):
+    for key in list(local_store.keys()) if keys is None else list(keys):
         local = local_store.entry(key)
         if local.state is WeightState.UNKNOWN:
             report.unchanged += 1
@@ -123,6 +137,7 @@ class SessionManager:
         self.global_store = WeightStore() if global_store is None else global_store
         self.alpha = alpha
         self.local: Optional[WeightStore] = None
+        self._base_generation: int = 0  # local generation at begin_session
         self.sessions_completed = 0
         self.merge_reports: list[MergeReport] = []
 
@@ -140,16 +155,26 @@ class SessionManager:
         if self.in_session:
             raise RuntimeError("a session is already active; end it first")
         self.local = self.global_store.copy()
+        self._base_generation = self.local.generation
         return self.local
 
     def end_session(self, conservative: bool = True) -> MergeReport:
-        """End the session, merging local results into the global store."""
+        """End the session, merging local results into the global store.
+
+        Only the keys the session actually touched are merged (the §5
+        "separate buffer" of updates); untouched copies inherited at
+        ``begin_session`` are not re-asserted, so a concurrent merge of
+        another session is never averaged back toward a stale copy.
+        """
         if self.local is None:
             raise RuntimeError("no active session")
+        touched = self.local.modified_since(self._base_generation)
         if conservative:
-            report = merge_conservative(self.global_store, self.local, self.alpha)
+            report = merge_conservative(
+                self.global_store, self.local, self.alpha, keys=touched
+            )
         else:
-            report = merge_strong(self.global_store, self.local)
+            report = merge_strong(self.global_store, self.local, keys=touched)
         self.local = None
         self.sessions_completed += 1
         self.merge_reports.append(report)

@@ -65,6 +65,13 @@ class WeightStore:
         #: detect "weights moved" (e.g. after a session merge) with an
         #: integer compare instead of deep-comparing entries.
         self.generation: int = 0
+        #: Per-key journal: the generation at which each key was last
+        #: written (including drops back to UNKNOWN, which stay in the
+        #: journal as tombstones).  This is what lets a reader ask "what
+        #: changed since generation G?" — the basis of the serving
+        #: layer's delta shipping to process lanes and of touched-keys
+        #: session merges.
+        self._modified: dict[ArcKey, int] = {}
 
     # -- encodings ---------------------------------------------------------
     @property
@@ -117,6 +124,7 @@ class WeightStore:
             return  # builtins stay at probability 1
         self._entries[key] = WeightEntry(WeightState.KNOWN, max(0.0, float(value)))
         self.generation += 1
+        self._modified[key] = self.generation
 
     def set_infinite(self, key: ArcKey) -> None:
         """Record a failure weight (A·N encoding)."""
@@ -124,16 +132,30 @@ class WeightStore:
             return
         self._entries[key] = WeightEntry(WeightState.INFINITE, self.infinity_value)
         self.generation += 1
+        self._modified[key] = self.generation
 
     def forget(self, key: ArcKey) -> None:
         """Drop a key back to UNKNOWN."""
         if self._entries.pop(key, None) is not None:
             self.generation += 1
+            self._modified[key] = self.generation
 
     def clear(self) -> None:
         if self._entries:
             self.generation += 1
+            for key in self._entries:
+                self._modified[key] = self.generation
         self._entries.clear()
+
+    # -- change tracking ----------------------------------------------------
+    def modified_since(self, generation: int) -> list[ArcKey]:
+        """Keys written strictly after ``generation`` (current-timeline).
+
+        Includes keys that were dropped back to UNKNOWN (``forget`` /
+        ``clear``): a reader that mirrors this store needs the drop as
+        much as it needs a new value.
+        """
+        return [k for k, g in self._modified.items() if g > generation]
 
     # -- copies / views -----------------------------------------------------------
     def copy(self) -> "WeightStore":
@@ -145,6 +167,7 @@ class WeightStore:
         out = WeightStore(self.n, self.a)
         out._entries = dict(self._entries)
         out.generation = self.generation
+        out._modified = dict(self._modified)
         return out
 
     def snapshot(self) -> dict[ArcKey, WeightEntry]:

@@ -11,6 +11,8 @@ answers.
 
 import asyncio
 import json
+import math
+import os
 import time
 
 import pytest
@@ -33,8 +35,14 @@ def run(coro):
     return asyncio.run(coro)
 
 
+# CI runs this whole module once per backend (BLOG_SERVICE_BACKEND in the
+# matrix); tests that reach into thread-lane internals pin backend="thread".
+BACKEND = os.environ.get("BLOG_SERVICE_BACKEND", "thread")
+
+
 def make_service(**kw):
     kw.setdefault("n_workers", 2)
+    kw.setdefault("backend", BACKEND)
     return BLogService({"family": family_program()}, **kw)
 
 
@@ -126,6 +134,35 @@ class TestPercentile:
         assert percentile([0.0, 10.0], 50.0) == 5.0
         assert percentile([1.0, 2.0, 3.0, 4.0], 95.0) == pytest.approx(3.85)
         assert percentile([], 95.0) == 0.0
+
+    def test_single_sample_any_q(self):
+        for q in (0.0, 37.2, 50.0, 95.0, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_unsorted_input(self):
+        assert percentile([10.0, 0.0], 50.0) == 5.0
+        assert percentile([3.0, 1.0, 4.0, 2.0], 0.0) == 1.0
+        assert percentile([3.0, 1.0, 4.0, 2.0], 100.0) == 4.0
+
+    def test_q_extremes_are_min_and_max(self):
+        xs = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(xs, 0.0) == 1.0
+        assert percentile(xs, 100.0) == 9.0  # exactly the max, no index error
+
+    def test_out_of_range_q_clamps(self):
+        xs = [1.0, 2.0, 3.0]
+        # a negative q must clamp to the min — int(pos) truncation on a
+        # negative position used to wrap around to xs[-1] (the max!)
+        assert percentile(xs, -5.0) == 1.0
+        assert percentile(xs, 150.0) == 3.0
+
+    def test_nan_samples_are_dropped(self):
+        nan = float("nan")
+        assert percentile([nan, 1.0, nan, 3.0], 50.0) == 2.0
+        assert percentile([nan, 42.0], 95.0) == 42.0
+        assert percentile([nan, nan], 50.0) == 0.0  # all-NaN == empty
+        for q in (0.0, 50.0, 95.0, 100.0):
+            assert not math.isnan(percentile([nan, 1.0, 2.0], q))
 
 
 # -- the service itself ------------------------------------------------------
@@ -224,7 +261,9 @@ class TestSessionAffinity:
             sb = svc.router.get("family", "b")
             return sa, sb
 
-        sa, sb = run(with_service(body))
+        # thread-pinned: pokes the in-parent local stores, which live in
+        # the lane child under the process backend
+        sa, sb = run(with_service(body, backend="thread"))
         assert sa.local_store is not sb.local_store
         # neither session has merged: the global store is untouched
         assert len(sa.engine.sessions.global_store) == 0
@@ -269,6 +308,10 @@ class TestCacheLifecycle:
 
 
 class TestFailureHandling:
+    """Thread-pinned: these tests monkeypatch ``svc._execute``, which only
+    runs in-process for thread lanes (process lanes execute in the lane
+    child — their failure modes are exercised by test_service_faults.py)."""
+
     def test_timeout_fails_request_and_abandons_session(self):
         async def body(svc):
             real = svc._execute
@@ -287,7 +330,7 @@ class TestFailureHandling:
             )
             return resp, follow_up, svc.router.get("family", "slowpoke")
 
-        resp, follow_up, state = run(with_service(body))
+        resp, follow_up, state = run(with_service(body, backend="thread"))
         assert not resp.ok and "deadline" in resp.error
         assert follow_up.ok  # a fresh session state served the next query
         assert state is not None and state.queries == 1  # reopened, not reused
@@ -306,7 +349,7 @@ class TestFailureHandling:
             svc._execute = flaky
             return await svc.submit(QueryRequest("family", "gf(sam, G)"))
 
-        resp = run(with_service(body))
+        resp = run(with_service(body, backend="thread"))
         assert resp.ok
         assert resp.retries == 1
         assert sorted(a["G"] for a in resp.answers) == ["den", "doug"]
@@ -319,7 +362,7 @@ class TestFailureHandling:
             svc._execute = doomed
             return await svc.submit(QueryRequest("family", "gf(sam, G)"))
 
-        resp = run(with_service(body))
+        resp = run(with_service(body, backend="thread"))
         assert not resp.ok
         assert "worker died twice" in resp.error
         assert resp.retries == 1
@@ -339,7 +382,7 @@ class TestFailureHandling:
             ]
             return await asyncio.gather(*reqs, return_exceptions=True)
 
-        results = run(with_service(body, n_workers=1, max_pending=2))
+        results = run(with_service(body, n_workers=1, max_pending=2, backend="thread"))
         rejected = [r for r in results if isinstance(r, Overloaded)]
         served = [r for r in results if not isinstance(r, Exception)]
         assert len(rejected) == 3 and len(served) == 2
@@ -351,7 +394,7 @@ class TestFailureHandling:
                 QueryRequest("family", "gf(sam, G)", engine="machine")
             )
 
-        resp = run(with_service(body, degrade_pending=0))
+        resp = run(with_service(body, degrade_pending=0, backend="thread"))
         assert resp.ok
         assert resp.engine == "blog" and resp.degraded
 
@@ -361,7 +404,7 @@ class TestFailureHandling:
                 QueryRequest("family", "gf(sam, G)", engine="machine")
             )
 
-        resp = run(with_service(body))
+        resp = run(with_service(body, backend="thread"))
         assert resp.ok and resp.engine == "machine" and not resp.degraded
         assert sorted(a["G"] for a in resp.answers) == ["den", "doug"]
 
@@ -443,7 +486,9 @@ class TestLoadAcceptance:
                 plan.append(("family", q, session, frozenset(expect)))
 
         async def body():
-            svc = BLogService(programs, n_workers=4, max_pending=256)
+            svc = BLogService(
+                programs, n_workers=4, max_pending=256, backend=BACKEND
+            )
             await svc.start()
             queue = asyncio.Queue()
             for i, item in enumerate(plan):
