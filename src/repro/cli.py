@@ -126,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-depth", type=int, default=256, help="resolution depth bound"
     )
     serve.add_argument(
+        "--trace-log", metavar="PATH", default=None,
+        help="append one JSON object per finished span to PATH "
+        "(size-rotated JSONL; see docs/OBSERVABILITY.md)",
+    )
+    serve.add_argument(
+        "--trace-log-max-bytes", type=int, default=10_000_000, metavar="N",
+        help="rotate the trace log past N bytes (default 10MB)",
+    )
+    serve.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="dump the full span tree of any request slower than MS "
+        "milliseconds to stderr (the slow-query log)",
+    )
+    serve.add_argument(
         "--selfcheck", action="store_true",
         help="start, run a few queries against itself over TCP, "
         "print stats, and exit (smoke test)",
@@ -329,6 +343,9 @@ def _run_serve(args, out) -> int:
         max_pending=args.max_pending,
         default_timeout=args.timeout,
         backend=args.backend,
+        slow_query_ms=args.slow_query_ms,
+        trace_log=args.trace_log,
+        trace_log_max_bytes=args.trace_log_max_bytes,
     )
 
     async def run() -> int:

@@ -176,6 +176,7 @@ def run_engine_query(
     goals,
     max_solutions: Optional[int],
     processes: int = 1,
+    attrs: Optional[dict] = None,
 ) -> tuple[list[dict[str, str]], Optional[int]]:
     """Run one query on the chosen engine against a session's engine state.
 
@@ -183,10 +184,27 @@ def run_engine_query(
     router's engine) and the lane worker (called in the child with its
     own engine); both sides stringify bindings the same way so answers
     are backend-independent.
+
+    ``attrs``, when given, is filled with engine-level counters
+    (expansions, pruned chains, solution bounds, machine makespan …) for
+    the telemetry layer: the thread backend reads the dict directly, the
+    lane worker ships it back inside the pickled reply, so the same
+    attributes land on the request's ``engine`` span either way.
     """
     if engine_used == "blog":
         result = blog_engine.query(goals, max_solutions=max_solutions)
         answers = [{k: str(v) for k, v in a.items()} for a in result.answers]
+        if attrs is not None:
+            attrs["expansions"] = result.expansions
+            attrs["generated"] = result.generated
+            attrs["pruned"] = result.pruned
+            attrs["failures"] = result.failures
+            if result.expansions_to_first is not None:
+                attrs["expansions_to_first"] = result.expansions_to_first
+            if result.solution_bounds:
+                attrs["solution_bounds"] = [
+                    round(b, 6) for b in result.solution_bounds[:16]
+                ]
         return answers, result.expansions
     if engine_used == "machine":
         from dataclasses import replace as _replace
@@ -206,6 +224,11 @@ def run_engine_query(
             cfg = _replace(cfg, max_solutions=max_solutions)
         res = BLogMachine(cfg, store=store).run(tree)
         answers = [{k: str(v) for k, v in a.items()} for a in res.answers]
+        if attrs is not None:
+            attrs["expansions"] = res.expansions
+            attrs["makespan"] = res.makespan
+            attrs["migrations"] = res.migrations
+            attrs["utilization"] = round(res.mean_utilization, 6)
         return answers, res.expansions
     if engine_used == "procpool":
         # Inside a daemonic lane worker this must stay serial (daemons
@@ -217,6 +240,9 @@ def run_engine_query(
             max_depth=config.max_depth,
             max_solutions_per_branch=max_solutions,
         )
+        if attrs is not None:
+            attrs["branches"] = par.branches
+            attrs["branch_solutions"] = list(par.per_branch_solutions)
         return list(par.answers), None
     raise ValueError(f"unknown engine {engine_used!r}")
 
@@ -282,6 +308,7 @@ def lane_worker_main(conn, lane: int) -> None:  # pragma: no cover — subproces
             engine, _ = sessions[(name, session)]
             program, config, machine_config = programs[name]
             goals = parse_query(msg["query"])
+            attrs: dict = {}
             answers, expansions = run_engine_query(
                 msg["engine"],
                 engine,
@@ -291,8 +318,16 @@ def lane_worker_main(conn, lane: int) -> None:  # pragma: no cover — subproces
                 goals,
                 msg.get("max_solutions"),
                 processes=1,
+                attrs=attrs,
             )
-            return {"ok": True, "answers": answers, "expansions": expansions}
+            # engine counters ride the pickled reply so the parent can
+            # attach them to the request's engine span (telemetry)
+            return {
+                "ok": True,
+                "answers": answers,
+                "expansions": expansions,
+                "engine_attrs": attrs,
+            }
         if op == "close_session":
             name, session = msg["name"], msg["session"]
             state = sessions.pop((name, session), None)

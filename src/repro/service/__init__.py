@@ -22,6 +22,16 @@ from .cache import (
 from .router import SessionRouter, SessionState
 from .server import BLogService, ProgramEntry, QueryRequest, QueryResponse
 from .stats import ServiceStats, TraceEvent, format_lane_stats, format_stats, percentile
+from .telemetry import (
+    JsonlTraceLog,
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    Trace,
+    Tracer,
+    format_trace,
+    read_trace_log,
+)
 from .workers import (
     BACKENDS,
     Job,
@@ -60,4 +70,12 @@ __all__ = [
     "LaneBackend",
     "ThreadLaneBackend",
     "ProcessLaneBackend",
+    "Telemetry",
+    "Tracer",
+    "Trace",
+    "Span",
+    "MetricsRegistry",
+    "JsonlTraceLog",
+    "format_trace",
+    "read_trace_log",
 ]

@@ -33,7 +33,7 @@ class AdmissionController:
     ``acquire`` never blocks — it admits or raises.
     """
 
-    def __init__(self, max_pending: int):
+    def __init__(self, max_pending: int, registry=None):
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
         self.max_pending = int(max_pending)
@@ -44,22 +44,38 @@ class AdmissionController:
         #: signal for "how close to the bound does real traffic get"
         #: (e.g. a respawning process lane backs its whole queue up here).
         self.peak_pending = 0
+        self._m_pending = registry.gauge("blog_pending") if registry else None
+        self._m_peak = registry.gauge("blog_peak_pending") if registry else None
+        self._m_admitted = (
+            registry.counter("blog_admitted_total") if registry else None
+        )
+        self._m_rejected = (
+            registry.counter("blog_rejected_total") if registry else None
+        )
 
     def acquire(self) -> None:
         """Admit one request or raise :class:`Overloaded`."""
         if self.pending >= self.max_pending:
             self.rejected += 1
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
             raise Overloaded(self.pending, self.max_pending)
         self.pending += 1
         self.admitted += 1
         if self.pending > self.peak_pending:
             self.peak_pending = self.pending
+        if self._m_pending is not None:
+            self._m_pending.set(self.pending)
+            self._m_peak.set(self.peak_pending)
+            self._m_admitted.inc()
 
     def release(self) -> None:
         """A previously admitted request finished (however it finished)."""
         if self.pending <= 0:
             raise RuntimeError("release() without matching acquire()")
         self.pending -= 1
+        if self._m_pending is not None:
+            self._m_pending.set(self.pending)
 
     def __repr__(self) -> str:
         return (

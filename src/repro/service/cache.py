@@ -98,7 +98,7 @@ class CacheEntry:
 class AnswerCache:
     """LRU answer cache with generation-checked lookups."""
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024, registry=None):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = int(capacity)
@@ -106,20 +106,34 @@ class AnswerCache:
         self.hits = 0
         self.misses = 0
         self.stale = 0  # misses caused specifically by a generation bump
+        self._m_hits = registry.counter("blog_cache_hits_total") if registry else None
+        self._m_misses = (
+            registry.counter("blog_cache_misses_total") if registry else None
+        )
+        self._m_stale = registry.counter("blog_cache_stale_total") if registry else None
+        self._m_entries = registry.gauge("blog_cache_entries") if registry else None
 
     def get(self, key: tuple, generation: int) -> Optional[list[dict[str, str]]]:
         """The cached answers, or None; stale entries are evicted."""
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
             return None
         if entry.generation != generation:
             del self._entries[key]
             self.stale += 1
             self.misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
+                self._m_stale.inc()
+                self._m_entries.set(len(self._entries))
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if self._m_hits is not None:
+            self._m_hits.inc()
         return entry.answers
 
     def put(self, key: tuple, generation: int, answers: list[dict[str, str]]) -> None:
@@ -127,6 +141,8 @@ class AnswerCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+        if self._m_entries is not None:
+            self._m_entries.set(len(self._entries))
 
     def invalidate_program(self, program: str) -> int:
         """Drop every entry of one program; returns how many were dropped."""

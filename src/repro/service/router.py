@@ -66,13 +66,40 @@ class SessionState:
 class SessionRouter:
     """Maps sessions to lanes and owns per-session engine state."""
 
-    def __init__(self, n_lanes: int):
+    def __init__(self, n_lanes: int, registry=None):
         if n_lanes < 1:
             raise ValueError("need at least one lane")
         self.n_lanes = int(n_lanes)
         self._sessions: dict[tuple[str, str], SessionState] = {}
         self.sessions_opened = 0
         self.sessions_merged = 0
+        self._m_opened = (
+            registry.counter("blog_sessions_opened_total") if registry else None
+        )
+        self._m_merged = (
+            registry.counter("blog_sessions_merged_total") if registry else None
+        )
+        self._m_abandoned = (
+            registry.counter("blog_sessions_abandoned_total") if registry else None
+        )
+        self._m_live = registry.gauge("blog_sessions_open") if registry else None
+
+    def _count_open(self) -> None:
+        self.sessions_opened += 1
+        if self._m_opened is not None:
+            self._m_opened.inc()
+            self._m_live.set(len(self._sessions))
+
+    def _count_merge(self) -> None:
+        self.sessions_merged += 1
+        if self._m_merged is not None:
+            self._m_merged.inc()
+            self._m_live.set(len(self._sessions))
+
+    def _count_abandoned(self, n: int = 1) -> None:
+        if self._m_abandoned is not None and n:
+            self._m_abandoned.inc(n)
+            self._m_live.set(len(self._sessions))
 
     # -- placement ---------------------------------------------------------
     def lane_for(self, session: str) -> int:
@@ -109,7 +136,7 @@ class SessionRouter:
                 lane=self.lane_for(session),
             )
             self._sessions[key] = state
-            self.sessions_opened += 1
+            self._count_open()
         return state
 
     def close(
@@ -128,7 +155,7 @@ class SessionRouter:
         if state is None:
             return None
         report = state.engine.end_session(conservative=conservative)
-        self.sessions_merged += 1
+        self._count_merge()
         return report
 
     # -- process-lane sessions ---------------------------------------------
@@ -148,7 +175,7 @@ class SessionRouter:
                 remote=True,
             )
             self._sessions[key] = state
-            self.sessions_opened += 1
+            self._count_open()
         return state
 
     def store_sync(
@@ -194,7 +221,7 @@ class SessionRouter:
             report = merge_conservative(global_store, local, alpha)
         else:
             report = merge_strong(global_store, local)
-        self.sessions_merged += 1
+        self._count_merge()
         return report
 
     def drop_lane(self, lane: int) -> int:
@@ -208,6 +235,7 @@ class SessionRouter:
         doomed = [k for k, s in self._sessions.items() if s.lane == lane]
         for k in doomed:
             del self._sessions[k]
+        self._count_abandoned(len(doomed))
         return len(doomed)
 
     def abandon(self, program_name: str, session: str) -> bool:
@@ -218,7 +246,10 @@ class SessionRouter:
         store can never be trusted for a merge nor handed to another
         query.  The next query of the same session opens a fresh state.
         """
-        return self._sessions.pop((program_name, session), None) is not None
+        dropped = self._sessions.pop((program_name, session), None) is not None
+        if dropped:
+            self._count_abandoned()
+        return dropped
 
     # -- introspection -----------------------------------------------------
     def live_sessions(self) -> list[SessionState]:

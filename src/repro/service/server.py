@@ -40,7 +40,9 @@ cycle-accurate answer later.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Optional, Union
 
@@ -56,6 +58,7 @@ from .admission import AdmissionController, Overloaded
 from .cache import AnswerCache, cache_key, canonical_query, slot_names
 from .router import SessionRouter, SessionState
 from .stats import ServiceStats, TraceEvent
+from .telemetry import Telemetry, Trace
 from .workers import Job, QueryTimeout, WorkerDied, WorkerPool
 
 __all__ = ["QueryRequest", "QueryResponse", "ProgramEntry", "BLogService"]
@@ -150,6 +153,13 @@ class BLogService:
     mp_context:
         multiprocessing start method for process lanes (default: fork
         where available, else spawn).
+    slow_query_ms:
+        When set, any request whose wall time crosses the threshold has
+        its full span tree dumped to the slow-query sink (stderr by
+        default; see :class:`~repro.service.telemetry.Telemetry`).
+    trace_log:
+        When set, every finished request's spans are appended to this
+        JSONL file (one object per span, size-rotated).
     """
 
     def __init__(
@@ -165,6 +175,9 @@ class BLogService:
         processes: int = 2,
         backend: str = "thread",
         mp_context: Optional[str] = None,
+        slow_query_ms: Optional[float] = None,
+        trace_log: Optional[str] = None,
+        trace_log_max_bytes: int = 10_000_000,
     ):
         self.config = config if config is not None else BLogConfig()
         self.machine_config = (
@@ -180,15 +193,23 @@ class BLogService:
         )
         self.processes = int(processes)
         self.backend = backend
-        self.router = SessionRouter(self.n_workers)
+        self.telemetry = Telemetry(
+            slow_query_s=(slow_query_ms / 1000.0) if slow_query_ms else None,
+        )
+        if trace_log:
+            self.telemetry.attach_trace_log(
+                trace_log, max_bytes=trace_log_max_bytes
+            )
+        registry = self.telemetry.registry
+        self.router = SessionRouter(self.n_workers, registry=registry)
         self.pool = WorkerPool(self.n_workers, backend=backend, mp_context=mp_context)
         self.lane_resets = 0
         self.sessions_abandoned = 0
         if backend == "process":
             self.pool.backend.on_lane_reset = self._on_lane_reset
-        self.admission = AdmissionController(max_pending)
-        self.cache = AnswerCache(cache_capacity)
-        self.stats_agg = ServiceStats()
+        self.admission = AdmissionController(max_pending, registry=registry)
+        self.cache = AnswerCache(cache_capacity, registry=registry)
+        self.stats_agg = ServiceStats(registry=registry)
         self._req_counter = 0
         self._tcp_server: Optional[asyncio.base_events.Server] = None
 
@@ -216,36 +237,70 @@ class BLogService:
             await self._tcp_server.wait_closed()
             self._tcp_server = None
         await self.pool.stop()
+        self.telemetry.close()
 
     # -- the in-process API ------------------------------------------------
     async def submit(self, request: QueryRequest) -> QueryResponse:
         """Serve one request; raises :class:`Overloaded` when at the
-        admission bound (the TCP layer turns that into an error reply)."""
+        admission bound (the TCP layer turns that into an error reply).
+
+        Every request — served, failed, or rejected — owns exactly one
+        root span; the phases (admission, cache, queue, lane-dispatch,
+        engine, and on the process backend respawn/replay) hang off it.
+        """
         rid = request.request_id or self._next_id()
+        trace = self.telemetry.tracer.start_trace(
+            rid,
+            name="request",
+            program=request.program,
+            session=request.session,
+            engine=request.engine,
+        )
         try:
-            self.admission.acquire()
+            with trace.span("admission"):
+                self.admission.acquire()
         except Overloaded:
-            self.stats_agg.record_rejection()
+            trace.end(ok=False, outcome="rejected")
+            self.stats_agg.record_rejection(
+                TraceEvent(
+                    request_id=rid,
+                    program=request.program,
+                    session=request.session,
+                    engine_requested=request.engine,
+                    engine_used="rejected",
+                    ok=False,
+                    queue_wait_s=trace.root.duration_s,
+                    total_s=trace.root.duration_s,
+                    error="overloaded",
+                )
+            )
             raise
         try:
-            return await self._admitted(request, rid)
+            return await self._admitted(request, rid, trace)
         finally:
             self.admission.release()
+            if not trace.ended:  # crash safety: a root span never leaks open
+                trace.end(ok=False, outcome="internal-error")
 
-    async def _admitted(self, request: QueryRequest, rid: str) -> QueryResponse:
+    async def _admitted(
+        self, request: QueryRequest, rid: str, trace: Trace
+    ) -> QueryResponse:
         entry = self.programs.get(request.program)
         if entry is None:
             return self._finish(
-                request, rid, error=f"unknown program {request.program!r}"
+                request, rid, error=f"unknown program {request.program!r}",
+                trace=trace,
             )
         if request.engine not in ENGINES:
             return self._finish(
-                request, rid, error=f"unknown engine {request.engine!r}"
+                request, rid, error=f"unknown engine {request.engine!r}", trace=trace
             )
         try:
             goals = self._parse(request.query)
         except ParseError as exc:
-            return self._finish(request, rid, error=f"syntax error: {exc}")
+            return self._finish(
+                request, rid, error=f"syntax error: {exc}", trace=trace
+            )
 
         # Cache lookup under the program's current weight generation: a
         # session merge bumps the generation and silently invalidates
@@ -257,7 +312,9 @@ class BLogService:
         key = cache_key(entry.name, goals, request.max_solutions)
         slots = slot_names(canonical_query(goals)[1])
         if request.cache:
-            canon = self.cache.get(key, generation)
+            with trace.span("cache") as cache_span:
+                canon = self.cache.get(key, generation)
+                cache_span.set("hit", canon is not None)
             if canon is not None:
                 by_slot = {slot: name for name, slot in slots.items()}
                 answers = [
@@ -265,7 +322,8 @@ class BLogService:
                     for a in canon
                 ]
                 return self._finish(
-                    request, rid, answers=answers, cache_hit=True, engine_used="cache"
+                    request, rid, answers=answers, cache_hit=True,
+                    engine_used="cache", trace=trace,
                 )
 
         engine_used = request.engine
@@ -282,28 +340,49 @@ class BLogService:
             # opening included — happens inside the job so a replay
             # after a worker death re-opens against the fresh child.
             async def run(job: Job):
-                attempts = 0
-                while True:
-                    attempts += 1
-                    try:
-                        await self._remote_prepare(lane, entry, request.session)
-                        reply = await self.pool.remote_call(
-                            lane,
-                            {
-                                "op": "query",
-                                "name": entry.name,
-                                "session": request.session,
-                                "engine": engine_used,
-                                "query": request.query,
-                                "max_solutions": request.max_solutions,
-                            },
-                            timeout,
+                trace.span_at("queue", job.enqueued_at, job.started_at, lane=lane)
+                with trace.span("lane-dispatch", lane=lane, backend="process"):
+                    attempts = 0
+                    while True:
+                        attempts += 1
+                        replay_cm = (
+                            trace.span("replay", lane=lane)
+                            if attempts > 1
+                            else contextlib.nullcontext()
                         )
-                        return reply["answers"], reply.get("expansions")
-                    except WorkerDied:
-                        if attempts > 1:
+                        try:
+                            with replay_cm:
+                                await self._remote_prepare(
+                                    lane, entry, request.session, trace=trace
+                                )
+                                with trace.span(
+                                    "engine", engine=engine_used, backend="process"
+                                ) as engine_span:
+                                    reply = await self.pool.remote_call(
+                                        lane,
+                                        {
+                                            "op": "query",
+                                            "name": entry.name,
+                                            "session": request.session,
+                                            "engine": engine_used,
+                                            "query": request.query,
+                                            "max_solutions": request.max_solutions,
+                                        },
+                                        timeout,
+                                    )
+                                    for k, v in (
+                                        reply.get("engine_attrs") or {}
+                                    ).items():
+                                        engine_span.set(k, v)
+                                return reply["answers"], reply.get("expansions")
+                        except WorkerDied:
+                            self._record_respawn(trace, lane)
+                            if attempts > 1:
+                                raise
+                            job.retries += 1
+                        except QueryTimeout:
+                            self._record_respawn(trace, lane)
                             raise
-                        job.retries += 1
 
         else:
             state = self.router.open(
@@ -313,12 +392,24 @@ class BLogService:
             state.queries += 1
 
             async def run(job: Job):
-                return await self.pool.run_sync(
-                    job,
-                    lambda: self._execute(engine_used, state, entry, goals, request),
-                    timeout,
-                    lane=lane,
-                )
+                trace.span_at("queue", job.enqueued_at, job.started_at, lane=lane)
+                with trace.span("lane-dispatch", lane=lane, backend="thread"):
+                    attrs: dict = {}
+                    with trace.span(
+                        "engine", engine=engine_used, backend="thread"
+                    ) as engine_span:
+                        result = await self.pool.run_sync(
+                            job,
+                            lambda: self._execute(
+                                engine_used, state, entry, goals, request, attrs
+                            ),
+                            timeout,
+                            lane=lane,
+                            trace=trace,
+                        )
+                        for k, v in attrs.items():
+                            engine_span.set(k, v)
+                    return result
 
         job = self.pool.submit(lane, run)
         try:
@@ -330,27 +421,31 @@ class BLogService:
             self.router.abandon(entry.name, request.session)
             return self._finish(
                 request, rid, error=str(exc), engine_used=engine_used,
-                degraded=degraded, job=job,
+                degraded=degraded, job=job, trace=trace,
             )
         except WorkerDied as exc:
             return self._finish(
                 request, rid, error=f"worker died twice: {exc}",
-                engine_used=engine_used, degraded=degraded, job=job,
+                engine_used=engine_used, degraded=degraded, job=job, trace=trace,
             )
         except Exception as exc:  # engine errors must not kill the service
             return self._finish(
                 request, rid, error=f"{type(exc).__name__}: {exc}",
-                engine_used=engine_used, degraded=degraded, job=job,
+                engine_used=engine_used, degraded=degraded, job=job, trace=trace,
             )
         if request.cache:
-            self.cache.put(
-                key,
-                generation,
-                [{slots[k]: v for k, v in a.items() if k in slots} for a in answers],
-            )
+            with trace.span("cache", fill=True):
+                self.cache.put(
+                    key,
+                    generation,
+                    [
+                        {slots[k]: v for k, v in a.items() if k in slots}
+                        for a in answers
+                    ],
+                )
         return self._finish(
             request, rid, answers=answers, engine_used=engine_used,
-            degraded=degraded, job=job, expansions=expansions,
+            degraded=degraded, job=job, expansions=expansions, trace=trace,
         )
 
     # -- process-lane plumbing (event-loop only) ---------------------------
@@ -359,9 +454,24 @@ class BLogService:
         state is gone, so the sessions routed there are abandoned —
         dropped without merging (their learning died with the child)."""
         self.lane_resets += 1
+        self.telemetry.registry.counter("blog_lane_resets_total").inc()
         self.sessions_abandoned += self.router.drop_lane(lane)
 
-    async def _remote_prepare(self, lane: int, entry: ProgramEntry, session: str) -> None:
+    def _record_respawn(self, trace: Trace, lane: int) -> None:
+        """Attach a ``respawn`` span for the kill+respawn the backend just
+        performed (its interval was stamped inside the reset)."""
+        reset = getattr(self.pool.lane_process(lane), "last_reset", None)
+        now = self.telemetry.tracer.clock()
+        start, end = reset if reset is not None else (now, now)
+        trace.span_at("respawn", start, end, lane=lane)
+
+    async def _remote_prepare(
+        self,
+        lane: int,
+        entry: ProgramEntry,
+        session: str,
+        trace: Optional[Trace] = None,
+    ) -> None:
         """Bring a lane child up to date for one session's query: install
         the program (once per child epoch), ship the global-store delta
         its mirror is missing, and open the session child-side.  All
@@ -371,40 +481,52 @@ class BLogService:
         Runs inside the session's lane job, so it cannot interleave with
         other work on the same lane.
         """
-        lp = self.pool.lane_process(lane)
-        if entry.name not in lp.loaded:
-            await self.pool.remote_call(
-                lane,
-                {
-                    "op": "load_program",
-                    "name": entry.name,
-                    "program": entry.program,
-                    "config": entry.config,
-                    "machine_config": entry.machine_config,
-                },
-                self.default_timeout,
-            )
-            lp.loaded.add(entry.name)
-            lp.synced_gen.pop(entry.name, None)
-        delta = self.router.store_sync(
-            entry.global_store, lp.synced_gen.get(entry.name)
+        span_cm = (
+            trace.span("prepare", lane=lane)
+            if trace is not None
+            else contextlib.nullcontext()
         )
-        if delta is not None:
-            await self.pool.remote_call(
-                lane,
-                {"op": "sync_store", "name": entry.name, "delta": delta},
-                self.default_timeout,
+        with span_cm as prepare_span:
+            lp = self.pool.lane_process(lane)
+            if entry.name not in lp.loaded:
+                await self.pool.remote_call(
+                    lane,
+                    {
+                        "op": "load_program",
+                        "name": entry.name,
+                        "program": entry.program,
+                        "config": entry.config,
+                        "machine_config": entry.machine_config,
+                    },
+                    self.default_timeout,
+                )
+                lp.loaded.add(entry.name)
+                lp.synced_gen.pop(entry.name, None)
+                if prepare_span is not None:
+                    prepare_span.set("loaded_program", True)
+            delta = self.router.store_sync(
+                entry.global_store, lp.synced_gen.get(entry.name)
             )
-            lp.synced_gen[entry.name] = entry.global_store.generation
-        state = self.router.open_remote(entry.name, session)
-        state.queries += 1
-        if (entry.name, session) not in lp.open_sessions:
-            await self.pool.remote_call(
-                lane,
-                {"op": "open_session", "name": entry.name, "session": session},
-                self.default_timeout,
-            )
-            lp.open_sessions.add((entry.name, session))
+            if delta is not None:
+                await self.pool.remote_call(
+                    lane,
+                    {"op": "sync_store", "name": entry.name, "delta": delta},
+                    self.default_timeout,
+                )
+                lp.synced_gen[entry.name] = entry.global_store.generation
+                if prepare_span is not None:
+                    prepare_span.set("synced_store", True)
+            state = self.router.open_remote(entry.name, session)
+            state.queries += 1
+            if (entry.name, session) not in lp.open_sessions:
+                await self.pool.remote_call(
+                    lane,
+                    {"op": "open_session", "name": entry.name, "session": session},
+                    self.default_timeout,
+                )
+                lp.open_sessions.add((entry.name, session))
+                if prepare_span is not None:
+                    prepare_span.set("opened_session", True)
 
     async def end_session(
         self, program: str, session: str, conservative: bool = True
@@ -423,10 +545,13 @@ class BLogService:
             return None
         lane = self.router.lane_for(session)
         entry = self.programs.get(program)
+        trace = self.telemetry.tracer.start_trace(
+            self._next_id(), name="end_session", program=program, session=session
+        )
 
         if self.backend == "process":
 
-            async def run(job: Job) -> Optional[MergeReport]:
+            async def merge(job: Job) -> Optional[MergeReport]:
                 lp = self.pool.lane_process(lane)
                 if (program, session) not in lp.open_sessions:
                     # parent knows the session but the child lost it
@@ -456,11 +581,21 @@ class BLogService:
 
         else:
 
-            async def run(job: Job) -> Optional[MergeReport]:
+            async def merge(job: Job) -> Optional[MergeReport]:
                 return self.router.close(program, session, conservative=conservative)
 
+        async def run(job: Job) -> Optional[MergeReport]:
+            trace.span_at("queue", job.enqueued_at, job.started_at, lane=lane)
+            with trace.span("merge", lane=lane, backend=self.backend) as span:
+                report = await merge(job)
+                span.set("merged", report is not None)
+                return report
+
         job = self.pool.submit(lane, run)
-        return await job.future
+        try:
+            return await job.future
+        finally:
+            trace.end()
 
     def stats(self) -> dict:
         """Operator-facing counters: latency, throughput, cache, admission,
@@ -478,7 +613,16 @@ class BLogService:
             "lane_resets": self.lane_resets,
             "lanes": self.pool.lane_stats(),
             "programs": sorted(self.programs),
+            "slow_queries": self.telemetry.slow_queries,
+            "traces": {
+                "started": self.telemetry.tracer.started,
+                "finished": self.telemetry.tracer.completed,
+            },
         }
+
+    def metrics_text(self) -> str:
+        """The registry's text exposition (the ``metrics`` TCP verb)."""
+        return self.telemetry.registry.expose()
 
     # -- execution (worker threads) ----------------------------------------
     def _execute(
@@ -488,12 +632,15 @@ class BLogService:
         entry: ProgramEntry,
         goals: tuple[Term, ...],
         request: QueryRequest,
+        attrs: Optional[dict] = None,
     ) -> tuple[list[dict[str, str]], Optional[int]]:
         """Run one query on the chosen engine.  Worker-thread code: may
         touch only the session-local store (``state.engine.store``).
         The same executor runs inside a lane subprocess for the process
         backend (:func:`~repro.core.procpool.run_engine_query`), which is
-        what makes the two backends answer-identical."""
+        what makes the two backends answer-identical.  ``attrs`` (a plain
+        dict the loop thread reads only after the job resolves) receives
+        the engine counters for the request's ``engine`` span."""
         return run_engine_query(
             engine_used,
             state.engine,
@@ -503,6 +650,7 @@ class BLogService:
             goals,
             request.max_solutions,
             processes=self.processes,
+            attrs=attrs,
         )
 
     # -- plumbing ----------------------------------------------------------
@@ -524,16 +672,34 @@ class BLogService:
         degraded: bool = False,
         job: Optional[Job] = None,
         expansions: Optional[int] = None,
+        trace: Optional[Trace] = None,
     ) -> QueryResponse:
-        """Build the response and record its trace event."""
-        import time as _time
+        """Build the response, finish its root span, and record its trace
+        event.
 
+        Durations are populated on *every* exit path: with a trace, the
+        wall time is measured root-span-start → now, so cache hits and
+        early errors report real latency instead of zero; without a job
+        (no lane work happened) the whole wall time counts as queue
+        wait.  Engine time is the sum of the request's ``engine`` spans.
+        """
+        now = time.monotonic()
         ok = error is None
-        queue_wait = job.queue_wait_s if job is not None else 0.0
-        engine_s = 0.0
-        if job is not None and job.started_at is not None:
-            engine_s = _time.monotonic() - job.started_at
-        total_s = queue_wait + engine_s
+        if trace is not None:
+            total_s = max(0.0, now - trace.root.start_s)
+            engine_s = sum(
+                s.duration_s for s in trace.find("engine") if s.end_s is not None
+            )
+            if job is not None:
+                queue_wait = job.queue_wait_s
+            else:
+                queue_wait = max(0.0, total_s - engine_s)
+        else:  # legacy path (no tracer): the pre-telemetry arithmetic
+            queue_wait = job.queue_wait_s if job is not None else 0.0
+            engine_s = 0.0
+            if job is not None and job.started_at is not None:
+                engine_s = now - job.started_at
+            total_s = queue_wait + engine_s
         event = TraceEvent(
             request_id=rid,
             program=request.program,
@@ -550,6 +716,16 @@ class BLogService:
             total_s=total_s,
         )
         event.error = error
+        if trace is not None:
+            trace.end(
+                ok=ok,
+                answers=len(answers or ()),
+                cache_hit=cache_hit,
+                engine_used=engine_used or request.engine,
+                degraded=degraded,
+                retries=event.retries,
+                **({"request_error": error} if error is not None else {}),
+            )
         self.stats_agg.record(event)
         return QueryResponse(
             request_id=rid,
@@ -572,8 +748,10 @@ class BLogService:
         Protocol: one JSON object per line.  ``{"op": "query", ...}``
         (or any object with a ``"query"`` key) runs a query;
         ``{"op": "end_session", "program": P, "session": S}`` merges a
-        session; ``{"op": "stats"}`` reports counters.  Responses are
-        one JSON object per line, always with an ``"ok"`` field.
+        session; ``{"op": "stats"}`` reports counters;
+        ``{"op": "metrics"}`` returns the metrics text exposition.
+        Responses are one JSON object per line, always with an ``"ok"``
+        field.
         """
         await self.start()
         self._tcp_server = await asyncio.start_server(self._handle_client, host, port)
@@ -633,4 +811,6 @@ class BLogService:
             }
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "metrics":
+            return {"ok": True, "metrics": self.metrics_text()}
         return {"ok": False, "error": f"unknown op {op!r}"}

@@ -72,14 +72,27 @@ class TraceEvent:
 
 
 class ServiceStats:
-    """Aggregates trace events into operator-facing counters."""
+    """Aggregates trace events into operator-facing counters.
 
-    def __init__(self):
+    With a :class:`~repro.service.telemetry.MetricsRegistry` attached,
+    every recorded event is also folded into registry series
+    (``blog_requests_total``, latency histograms, per-engine counts) so
+    the ``metrics`` exposition and this summary always agree; the
+    summary's own p50/p95 output is computed from the event list exactly
+    as before.
+    """
+
+    def __init__(self, registry=None):
         self.events: list[TraceEvent] = []
         self.rejected = 0
+        #: rejection trace events (kept apart from ``events`` so the
+        #: served/error counts and latency percentiles are unchanged);
+        #: populated so *every* exit path carries measured durations
+        self.rejections: list[TraceEvent] = []
         self._started_at = time.monotonic()
         self._first_done: Optional[float] = None
         self._last_done: Optional[float] = None
+        self._registry = registry
 
     # -- recording ---------------------------------------------------------
     def record(self, event: TraceEvent) -> None:
@@ -87,9 +100,32 @@ class ServiceStats:
         if self._first_done is None:
             self._first_done = event.done_at
         self._last_done = event.done_at
+        reg = self._registry
+        if reg is None:
+            return
+        reg.counter("blog_requests_total").inc()
+        reg.counter("blog_requests_engine_total", engine=event.engine_used).inc()
+        if not event.ok:
+            reg.counter("blog_errors_total").inc()
+        if event.cache_hit:
+            reg.counter("blog_request_cache_hits_total").inc()
+        if event.degraded:
+            reg.counter("blog_degraded_total").inc()
+        if event.retries:
+            reg.counter("blog_retries_total").inc(event.retries)
+        reg.histogram("blog_request_seconds").observe(event.total_s)
+        reg.histogram("blog_queue_wait_seconds").observe(event.queue_wait_s)
+        if not event.cache_hit:
+            reg.histogram("blog_engine_seconds").observe(event.engine_s)
 
-    def record_rejection(self) -> None:
+    def record_rejection(self, event: Optional[TraceEvent] = None) -> None:
         self.rejected += 1
+        if event is not None:
+            self.rejections.append(event)
+            if self._registry is not None:
+                self._registry.histogram("blog_rejection_seconds").observe(
+                    event.total_s
+                )
 
     # -- reading -----------------------------------------------------------
     def summary(self) -> dict:

@@ -43,6 +43,7 @@ the stats layer, as are per-lane respawn and IPC byte counters.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import multiprocessing as mp
 import pickle
 import time
@@ -159,6 +160,10 @@ class _LaneProcess:
         self.conn = None
         self.epoch = 0  # bumped per (re)spawn; resets the views below
         self.respawns = 0
+        #: monotonic (start, end) of the most recent kill+respawn — the
+        #: service turns this into a ``respawn`` span on the request
+        #: whose failure triggered the reset
+        self.last_reset: Optional[tuple[float, float]] = None
         self.calls = 0
         self.bytes_out = 0
         self.bytes_in = 0
@@ -273,7 +278,10 @@ class ProcessLaneBackend(LaneBackend):
             self._io = None
 
     def _reset(self, lane: int) -> None:
-        self.lanes[lane].reset()
+        lp = self.lanes[lane]
+        t0 = time.monotonic()
+        lp.reset()
+        lp.last_reset = (t0, time.monotonic())
         if self.on_lane_reset is not None:
             self.on_lane_reset(lane)
 
@@ -400,21 +408,30 @@ class WorkerPool:
         fn: Callable[[], Any],
         timeout: Optional[float],
         lane: Optional[int] = None,
+        trace=None,
     ) -> Any:
         """Run ``fn`` on the thread executor with a deadline and one retry
-        on :class:`WorkerDied`; meant to be called from a job's ``run``."""
+        on :class:`WorkerDied`; meant to be called from a job's ``run``.
+        With a trace attached, the retry attempt is wrapped in a
+        ``replay`` span (mirroring the process backend's replay path)."""
         backend = self.backend
         assert isinstance(backend, ThreadLaneBackend) and backend.executor is not None
         loop = asyncio.get_running_loop()
         attempts = 0
         while True:
             attempts += 1
+            span_cm = (
+                trace.span("replay", lane=lane)
+                if trace is not None and attempts > 1
+                else contextlib.nullcontext()
+            )
             try:
-                if lane is not None:
-                    backend.count_call(lane)
-                return await asyncio.wait_for(
-                    loop.run_in_executor(backend.executor, fn), timeout
-                )
+                with span_cm:
+                    if lane is not None:
+                        backend.count_call(lane)
+                    return await asyncio.wait_for(
+                        loop.run_in_executor(backend.executor, fn), timeout
+                    )
             except asyncio.TimeoutError:
                 raise QueryTimeout(
                     f"query exceeded its {timeout:g}s deadline"

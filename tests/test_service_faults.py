@@ -26,7 +26,7 @@ import signal
 
 import pytest
 
-from repro.service import BLogService, QueryRequest
+from repro.service import BLogService, QueryRequest, read_trace_log
 from repro.workloads import family_program, nqueens_program, nrev_program
 
 pytestmark = pytest.mark.skipif(
@@ -73,7 +73,8 @@ class TestKillMidQuery:
             task = asyncio.ensure_future(
                 svc.submit(
                     QueryRequest(
-                        "queens", "queens(Qs)", session=session, cache=False
+                        "queens", "queens(Qs)", session=session, cache=False,
+                        request_id=session,
                     )
                 )
             )
@@ -90,12 +91,28 @@ class TestKillMidQuery:
                 for i in range(8):  # bounded re-tries of the *scenario*
                     resp, lane = await attempt(svc, f"killme{i}")
                     if resp is not None:
-                        return resp, lane, svc.pool.lane_stats(), svc.stats()
+                        traces = [
+                            t for t in svc.telemetry.tracer.finished
+                            if t.trace_id == resp.request_id
+                        ]
+                        registry = svc.telemetry.registry
+                        counters = {
+                            "resets": registry.counter(
+                                "blog_lane_resets_total"
+                            ).value,
+                            "retries": registry.counter(
+                                "blog_retries_total"
+                            ).value,
+                        }
+                        return (
+                            resp, lane, svc.pool.lane_stats(), svc.stats(),
+                            traces, counters,
+                        )
                 pytest.fail("query always finished before SIGKILL landed")
             finally:
                 await svc.stop()
 
-        resp, lane, lanes, stats = run(body())
+        resp, lane, lanes, stats, traces, counters = run(body())
         assert resp.ok, f"replayed query failed: {resp.error}"
         assert resp.retries == 1  # exactly one transparent replay
         assert len(resp.answers) == NQUEENS_ANSWERS
@@ -104,11 +121,30 @@ class TestKillMidQuery:
         assert lanes[lane]["respawns"] >= 1
         assert stats["lane_resets"] >= 1
 
+        # the span tree tells the whole story: one root span for the
+        # victim request, exactly one replay under it, and the respawn
+        # window recorded as a span of its own
+        assert len(traces) == 1, "exactly one finished trace for the victim"
+        trace = traces[0]
+        roots = [s for s in trace.spans if s.parent_id is None]
+        assert len(roots) == 1 and roots[0].name == "request"
+        replays = trace.find("replay")
+        assert len(replays) == 1, "exactly one replay span"
+        respawns = trace.find("respawn")
+        assert len(respawns) == 1, "exactly one respawn span"
+        engines = trace.find("engine")
+        assert len(engines) == 2  # killed attempt + successful replay
+        assert trace.root.attributes["retries"] == 1
+        # counters agree with the spans — each incremented exactly once
+        assert counters == {"resets": 1, "retries": 1}
+
     @pytest.mark.slow
-    def test_200_query_load_survives_two_kills(self):
+    def test_200_query_load_survives_two_kills(self, tmp_path):
         """The acceptance bar under fire: a mixed-session closed loop
         with two SIGKILLs mid-load loses nothing and duplicates
-        nothing."""
+        nothing — and the JSONL trace log accounts for every request:
+        one root span each, replay spans matching the replay counter,
+        metric totals equal to per-request span counts."""
         programs = {"family": family_program(), "nrev": nrev_program()}
         fam = {
             "gf(sam, G)": {"den", "doug"},
@@ -131,8 +167,16 @@ class TestKillMidQuery:
                 q, expect = fam_items[i % len(fam_items)]
                 plan.append(("family", q, session, frozenset(expect)))
 
+        # CI exports BLOG_FAULTS_TRACE_LOG so a failing run leaves the
+        # trace log behind as a build artifact; locally it lands in tmp
+        trace_log = os.environ.get(
+            "BLOG_FAULTS_TRACE_LOG", str(tmp_path / "faults-trace.jsonl")
+        )
+
         async def body():
-            svc = await make_service(programs, n_workers=2, max_pending=256)
+            svc = await make_service(
+                programs, n_workers=2, max_pending=256, trace_log=trace_log
+            )
             queue = asyncio.Queue()
             for i, item in enumerate(plan):
                 queue.put_nowait((f"req{i}", item))
@@ -162,14 +206,46 @@ class TestKillMidQuery:
                 *[client() for _ in range(8)], assassin()
             )
             lanes = svc.pool.lane_stats()
-            await svc.stop()
-            return responses, lanes
+            requests_total = svc.telemetry.registry.counter(
+                "blog_requests_total"
+            ).value
+            retries_total = svc.telemetry.registry.counter(
+                "blog_retries_total"
+            ).value
+            exposition = svc.metrics_text()
+            await svc.stop()  # closes (flushes) the trace log
+            return responses, lanes, requests_total, retries_total, exposition
 
-        responses, lanes = run(body())
+        responses, lanes, requests_total, retries_total, exposition = run(
+            body()
+        )
 
         # zero lost, zero duplicated requests
         assert sorted(responses) == sorted(f"req{i}" for i in range(total))
         assert sum(lane["respawns"] for lane in lanes) >= 2
+
+        # the trace log accounts for every request exactly once
+        spans = read_trace_log(trace_log)
+        request_spans = [
+            s for s in spans if s["trace"].startswith("req")
+        ]
+        roots = [s for s in request_spans if s["parent"] is None]
+        root_count = {}
+        for s in roots:
+            root_count[s["trace"]] = root_count.get(s["trace"], 0) + 1
+        assert root_count == {f"req{i}": 1 for i in range(total)}
+        assert requests_total == total == len(roots)
+
+        # replay spans in the log match the replay counter and the
+        # per-response retry totals
+        replay_spans = [s for s in request_spans if s["name"] == "replay"]
+        replied_retries = sum(r.retries for r in responses.values())
+        assert len(replay_spans) == retries_total == replied_retries
+        assert retries_total >= 1  # at least one kill landed mid-query
+
+        # the text exposition agrees with the span counts
+        assert f"blog_requests_total {total}" in exposition
+        assert f"blog_retries_total {int(retries_total)}" in exposition
 
         # every reply exact: nothing lost or duplicated inside an answer set
         for i, (prog, q, sess, expect) in enumerate(plan):

@@ -1,0 +1,345 @@
+"""Unit tests for the telemetry layer: span trees, the metric registry,
+the exposition format, trace-log export/rotation, the slow-query log —
+and the regression pins for the queue-wait fix (durations populated on
+cache-hit and overload exit paths, not only served queries)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import BLogService, Overloaded, QueryRequest
+from repro.service.telemetry import (
+    JsonlTraceLog,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    format_trace,
+    read_trace_log,
+)
+from repro.workloads import family_program
+
+
+class FakeClock:
+    def __init__(self, t: float = 100.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- spans -------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_parent_ids_and_intervals(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        trace = tracer.start_trace("r1", program="family")
+        with trace.span("outer") as outer:
+            clock.advance(1.0)
+            with trace.span("inner", detail=7) as inner:
+                clock.advance(2.0)
+            clock.advance(0.5)
+        trace.end(ok=True)
+
+        assert trace.root.parent_id is None
+        assert outer.parent_id == trace.root.span_id
+        assert inner.parent_id == outer.span_id
+        assert inner.attributes["detail"] == 7
+        # intervals nest: child inside parent inside root
+        assert outer.start_s >= trace.root.start_s
+        assert inner.start_s >= outer.start_s
+        assert inner.end_s <= outer.end_s <= trace.root.end_s
+        assert inner.duration_s == pytest.approx(2.0)
+        assert outer.duration_s == pytest.approx(3.5)
+        assert trace.root.attributes["ok"] is True
+        assert len(tracer.finished) == 1
+
+    def test_clock_never_runs_backwards_within_a_tree(self):
+        clock = FakeClock(50.0)
+        tracer = Tracer(clock=clock)
+        trace = tracer.start_trace("r1")
+        with trace.span("a"):
+            clock.t = 10.0  # OS clock hiccup: jumps backwards
+        with trace.span("b"):
+            clock.t = 9.0
+        trace.end()
+        times = []
+        for s in trace.spans:
+            times.append(s.start_s)
+            if s.end_s is not None:
+                times.append(s.end_s)
+        assert all(t >= 50.0 for t in times)
+        for s in trace.spans:
+            assert s.end_s >= s.start_s
+
+    def test_span_at_clamps_into_parent(self):
+        clock = FakeClock(100.0)
+        tracer = Tracer(clock=clock)
+        trace = tracer.start_trace("r1")
+        clock.advance(1.0)
+        span = trace.span_at("queue", 90.0, 101.5)  # starts before the root
+        assert span.start_s == 100.0  # clamped up to the root start
+        assert span.end_s == 101.5
+        assert span.parent_id == trace.root.span_id
+        trace.end()
+        assert trace.root.end_s >= span.end_s
+
+    def test_exception_is_recorded_and_span_still_ends(self):
+        tracer = Tracer(clock=FakeClock())
+        trace = tracer.start_trace("r1")
+        with pytest.raises(ValueError):
+            with trace.span("engine"):
+                raise ValueError("boom")
+        (engine,) = trace.find("engine")
+        assert engine.end_s is not None
+        assert "ValueError: boom" in engine.attributes["error"]
+
+    def test_end_is_idempotent_and_closes_dangling_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        trace = tracer.start_trace("r1")
+        trace.start_span("left-open")
+        trace.end()
+        trace.end()  # second call is a no-op
+        assert tracer.completed == 1
+        (dangling,) = trace.find("left-open")
+        assert dangling.end_s is not None
+        assert trace.root.end_s >= dangling.end_s
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_gauge_semantics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("blog_x_total")
+        c.inc()
+        c.inc(2)
+        assert reg.counter("blog_x_total") is c  # same series on re-ask
+        assert c.value == 3
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        g = reg.gauge("blog_depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4
+
+    def test_histogram_exact_aggregates_bounded_reservoir(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("blog_lat_seconds", reservoir=8)
+        for i in range(100):
+            h.observe(float(i))
+        assert h.count == 100
+        assert h.sum == sum(range(100))
+        assert h.min == 0.0 and h.max == 99.0
+        assert len(h.reservoir) == 8  # bounded
+        assert h.min <= h.quantile(0.5) <= h.max
+        snap = h.snapshot()
+        assert snap["count"] == 100 and snap["max"] == 99.0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("blog_x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("blog_x_total")
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("blog_req_total", engine="blog").inc(2)
+        reg.counter("blog_req_total", engine="cache").inc()
+        assert reg.counter("blog_req_total", engine="blog").value == 2
+        assert reg.counter("blog_req_total", engine="cache").value == 1
+
+    def test_exposition_golden(self):
+        reg = MetricsRegistry()
+        reg.counter("blog_requests_total").inc(3)
+        reg.counter("blog_requests_engine_total", engine="blog").inc(2)
+        reg.counter("blog_requests_engine_total", engine="cache").inc()
+        reg.gauge("blog_pending").set(1)
+        reg.histogram("blog_request_seconds").observe(2.0)
+        assert reg.expose() == (
+            "# TYPE blog_pending gauge\n"
+            "blog_pending 1\n"
+            "# TYPE blog_request_seconds histogram\n"
+            "blog_request_seconds_count 1\n"
+            "blog_request_seconds_sum 2\n"
+            'blog_request_seconds{q="0.5"} 2\n'
+            'blog_request_seconds{q="0.95"} 2\n'
+            "blog_request_seconds_max 2\n"
+            "# TYPE blog_requests_engine_total counter\n"
+            'blog_requests_engine_total{engine="blog"} 2\n'
+            'blog_requests_engine_total{engine="cache"} 1\n'
+            "# TYPE blog_requests_total counter\n"
+            "blog_requests_total 3\n"
+        )
+
+
+# -- exports -----------------------------------------------------------------
+
+
+class TestTraceLog:
+    def _finish_trace(self, tracer, rid, clock):
+        trace = tracer.start_trace(rid, program="family")
+        with trace.span("engine"):
+            clock.advance(0.01)
+        trace.end(ok=True)
+        return trace
+
+    def test_jsonl_lines_parse_and_round_trip(self, tmp_path):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        path = str(tmp_path / "trace.jsonl")
+        log = JsonlTraceLog(path)
+        tracer.on_finish.append(log)
+        self._finish_trace(tracer, "r1", clock)
+        self._finish_trace(tracer, "r2", clock)
+        log.close()
+        spans = read_trace_log(path)
+        assert [s["trace"] for s in spans] == ["r1", "r1", "r2", "r2"]
+        roots = [s for s in spans if s["parent"] is None]
+        assert [r["trace"] for r in roots] == ["r1", "r2"]
+        for s in spans:
+            assert s["end_s"] >= s["start_s"]
+            assert s["duration_s"] == pytest.approx(s["end_s"] - s["start_s"])
+
+    def test_rotation_keeps_backups(self, tmp_path):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        path = str(tmp_path / "trace.jsonl")
+        log = JsonlTraceLog(path, max_bytes=600, backups=2)
+        tracer.on_finish.append(log)
+        for i in range(12):
+            self._finish_trace(tracer, f"r{i}", clock)
+        log.close()
+        assert log.rotations >= 1
+        assert (tmp_path / "trace.jsonl.1").exists()
+        # every line in every generation is valid JSON
+        for p in tmp_path.iterdir():
+            for line in p.read_text().splitlines():
+                json.loads(line)
+        # the newest traces are in the live file, in order
+        live = read_trace_log(path)
+        assert live, "rotation must never lose the live file"
+
+    def test_slow_query_log_dumps_span_tree(self):
+        clock = FakeClock()
+        seen = []
+        telemetry = Telemetry(
+            clock=clock, slow_query_s=0.5, slow_query_sink=seen.append
+        )
+        fast = telemetry.tracer.start_trace("fast")
+        clock.advance(0.1)
+        fast.end()
+        slow = telemetry.tracer.start_trace("slow", program="family")
+        with slow.span("engine", expansions=42):
+            clock.advance(2.0)
+        slow.end(ok=True)
+        assert telemetry.slow_queries == 1
+        assert len(seen) == 1
+        text = seen[0]
+        assert "trace slow" in text and "engine" in text and "expansions=42" in text
+        assert "fast" not in text
+
+    def test_format_trace_indents_children(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        trace = tracer.start_trace("r1")
+        with trace.span("lane-dispatch"):
+            clock.advance(0.5)
+            with trace.span("engine"):
+                clock.advance(1.0)
+        trace.end()
+        lines = format_trace(trace).splitlines()
+        assert lines[0].startswith("trace r1")
+        assert lines[1].startswith("  lane-dispatch")
+        assert lines[2].startswith("    engine")
+
+
+# -- the queue-wait regression (satellite fix) -------------------------------
+
+
+class TestDurationsOnEveryExitPath:
+    """Cache-hit short-circuits and overload rejections must carry real
+    measured durations, not zeros (the pre-fix behaviour recorded 0.0
+    for every request that never reached a lane)."""
+
+    def test_cache_hit_records_wall_time_and_queue_wait(self):
+        async def body():
+            svc = BLogService(
+                {"family": family_program()}, n_workers=2, backend="thread"
+            )
+            await svc.start()
+            try:
+                first = await svc.submit(
+                    QueryRequest("family", "gf(sam, G)", session="s")
+                )
+                hit = await svc.submit(
+                    QueryRequest("family", "gf(sam, G)", session="s")
+                )
+                return first, hit, svc.stats_agg.events[-1]
+            finally:
+                await svc.stop()
+
+        first, hit, event = run(body())
+        assert first.ok and hit.ok and hit.cached
+        assert event.cache_hit
+        assert event.total_s > 0.0  # was 0.0 before the fix
+        assert event.queue_wait_s > 0.0
+        assert event.total_s >= event.queue_wait_s
+        assert hit.queue_wait_ms > 0.0
+
+    def test_overload_rejection_records_duration(self):
+        async def body():
+            svc = BLogService(
+                {"family": family_program()},
+                n_workers=1,
+                max_pending=1,
+                backend="thread",
+            )
+            await svc.start()
+            try:
+                svc.admission.acquire()  # occupy the whole bound
+                with pytest.raises(Overloaded):
+                    await svc.submit(QueryRequest("family", "gf(sam, G)"))
+                svc.admission.release()
+                return svc.stats_agg
+            finally:
+                await svc.stop()
+
+        agg = run(body())
+        assert agg.rejected == 1
+        assert len(agg.rejections) == 1
+        event = agg.rejections[0]
+        assert event.error == "overloaded" and not event.ok
+        assert event.total_s > 0.0
+        assert event.queue_wait_s == pytest.approx(event.total_s)
+        # the rejection's duration also lands in the registry histogram
+        hist = agg._registry.histogram("blog_rejection_seconds")
+        assert hist.count == 1 and hist.sum == pytest.approx(event.total_s)
+
+    def test_error_exit_paths_record_durations(self):
+        async def body():
+            svc = BLogService(
+                {"family": family_program()}, n_workers=1, backend="thread"
+            )
+            await svc.start()
+            try:
+                bad_prog = await svc.submit(QueryRequest("nope", "gf(sam, G)"))
+                bad_syntax = await svc.submit(QueryRequest("family", "gf(sam,"))
+                return bad_prog, bad_syntax, list(svc.stats_agg.events)
+            finally:
+                await svc.stop()
+
+        bad_prog, bad_syntax, events = run(body())
+        assert not bad_prog.ok and not bad_syntax.ok
+        assert all(e.total_s > 0.0 for e in events)

@@ -1,0 +1,138 @@
+"""Seeded property tests for span-tree invariants under random workloads.
+
+Every finished request — on both lane backends — must satisfy:
+
+* exactly one root span per request, named ``request``;
+* every child span's interval nests inside its parent's interval;
+* the sum of the root's direct-children durations is at most the root's
+  wall duration (children are sequential phases of one request);
+* cache-hit responses never contain an ``engine`` span, served
+  responses always do;
+* registry counters agree with the span trees they summarise.
+"""
+
+import asyncio
+import os
+import random
+
+import pytest
+
+from repro.service import BLogService, QueryRequest
+from repro.workloads import family_program, nrev_program
+
+SEED = int(os.environ.get("BLOG_TELEMETRY_SEED", "20260806"))
+N_REQUESTS = 48
+
+QUERIES = [
+    ("family", "gf(sam, G)"),
+    ("family", "anc(sam, D)"),
+    ("family", "sib(ann, S)"),
+    ("nrev", "nrev([a, b, c, d], R)"),
+    ("nrev", "nrev([a, b, c], R)"),
+]
+
+
+def _children_of(spans, span_id):
+    return [s for s in spans if s.parent_id == span_id]
+
+
+async def _run_workload(backend, rng):
+    svc = BLogService(
+        {"family": family_program(), "nrev": nrev_program()},
+        n_workers=3,
+        backend=backend,
+        default_timeout=30.0,
+    )
+    await svc.start()
+    responses = {}
+    try:
+        for i in range(N_REQUESTS):
+            program, goals = rng.choice(QUERIES)
+            request = QueryRequest(
+                program,
+                goals,
+                session=f"s{rng.randrange(6)}",
+                request_id=f"p{i}",
+                cache=rng.random() < 0.8,
+            )
+            responses[request.request_id] = await svc.submit(request)
+    finally:
+        await svc.stop()
+    return svc, responses
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_span_tree_invariants_random_workload(backend):
+    rng = random.Random(SEED)
+    svc, responses = asyncio.run(_run_workload(backend, rng))
+
+    traces = {
+        t.trace_id: t
+        for t in svc.telemetry.tracer.finished
+        if t.root.name == "request"
+    }
+    assert set(traces) == set(responses), "one finished trace per request id"
+
+    for rid, trace in traces.items():
+        resp = responses[rid]
+        roots = [s for s in trace.spans if s.parent_id is None]
+        assert len(roots) == 1, f"{rid}: exactly one root span"
+        root = roots[0]
+        assert root.name == "request"
+        assert root.end_s is not None
+
+        by_id = {s.span_id: s for s in trace.spans}
+        for span in trace.spans:
+            assert span.end_s is not None, f"{rid}: span {span.name} left open"
+            assert span.end_s >= span.start_s
+            if span.parent_id is not None:
+                parent = by_id[span.parent_id]
+                assert span.start_s >= parent.start_s, (
+                    f"{rid}: {span.name} starts before parent {parent.name}"
+                )
+                assert span.end_s <= parent.end_s, (
+                    f"{rid}: {span.name} ends after parent {parent.name}"
+                )
+
+        phases = _children_of(trace.spans, root.span_id)
+        assert sum(s.duration_s for s in phases) <= root.duration_s + 1e-6, (
+            f"{rid}: sequential phase durations exceed wall duration"
+        )
+
+        engine_spans = trace.find("engine")
+        if resp.cached:
+            assert not engine_spans, f"{rid}: cache hit must not run the engine"
+        elif resp.ok:
+            assert engine_spans, f"{rid}: served response missing engine span"
+            assert root.attributes.get("cache_hit") is False
+        if resp.ok and not resp.cached:
+            dispatch = trace.find("lane-dispatch")
+            assert dispatch and dispatch[0].attributes["backend"] == backend
+
+    reg = svc.telemetry.registry
+    assert reg.counter("blog_requests_total").value == len(traces) == N_REQUESTS
+    cached = sum(1 for r in responses.values() if r.cached)
+    assert reg.counter("blog_request_cache_hits_total").value == cached
+    engine_traced = sum(1 for t in traces.values() if t.find("engine"))
+    assert engine_traced == N_REQUESTS - cached
+    assert svc.telemetry.tracer.started >= svc.telemetry.tracer.completed
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_repeat_run_same_seed_same_shape(backend):
+    """The workload is deterministic given the seed: same cache-hit
+    pattern, same per-request span names (timings aside)."""
+    svc_a, resp_a = asyncio.run(_run_workload(backend, random.Random(SEED)))
+    svc_b, resp_b = asyncio.run(_run_workload(backend, random.Random(SEED)))
+    assert {r: v.cached for r, v in resp_a.items()} == {
+        r: v.cached for r, v in resp_b.items()
+    }
+
+    def shape(svc):
+        return {
+            t.trace_id: sorted({s.name for s in t.spans})
+            for t in svc.telemetry.tracer.finished
+            if t.root.name == "request"
+        }
+
+    assert shape(svc_a) == shape(svc_b)
