@@ -1,0 +1,58 @@
+"""blogcheck reporters: human text, stable JSON, GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .runner import AnalysisResult
+
+__all__ = ["render_text", "render_json", "render_github"]
+
+#: bump only on breaking schema changes; tests pin this
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: AnalysisResult) -> str:
+    """One line per finding, a per-rule tally, and a verdict."""
+    out: list[str] = []
+    for f in result.findings:
+        out.append(f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.name}] {f.message}")
+    if result.findings:
+        out.append("")
+        tally = Counter(f.rule for f in result.findings)
+        parts = ", ".join(f"{code}: {n}" for code, n in sorted(tally.items()))
+        out.append(
+            f"blogcheck: {len(result.findings)} finding(s) "
+            f"({parts}) in {result.files} file(s)"
+        )
+    else:
+        out.append(f"blogcheck: clean — {result.files} file(s) checked")
+    if result.suppressed:
+        out.append(f"blogcheck: {len(result.suppressed)} finding(s) suppressed")
+    return "\n".join(out)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report with a pinned schema."""
+    doc = {
+        "version": JSON_SCHEMA_VERSION,
+        "files": result.files,
+        "counts": dict(sorted(Counter(f.rule for f in result.findings).items())),
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_github(result: AnalysisResult) -> str:
+    """GitHub Actions workflow commands — one ``::error`` per finding, so
+    CI annotates the offending file:line directly in the job output."""
+    out: list[str] = []
+    for f in result.findings:
+        message = f.message.replace("%", "%25").replace("\n", "%0A")
+        out.append(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title=blogcheck {f.rule} ({f.name})::{message}"
+        )
+    return "\n".join(out)

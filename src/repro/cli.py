@@ -18,6 +18,13 @@ The ``serve`` subcommand runs the concurrent query service instead::
 
 Clients speak one JSON object per line over TCP; see
 :mod:`repro.service`.
+
+The ``lint`` subcommand runs blogcheck, the repo's AST invariant
+linter (see :mod:`repro.analysis` and ``docs/ANALYSIS.md``)::
+
+    python -m repro.cli lint                 # lint the repro package
+    python -m repro.cli lint src tests --format json
+    python -m repro.cli lint --select BLG004,BLG005 --github
 """
 
 from __future__ import annotations
@@ -143,6 +150,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--selfcheck", action="store_true",
         help="start, run a few queries against itself over TCP, "
         "print stats, and exit (smoke test)",
+    )
+    lint = sub.add_parser(
+        "lint",
+        help="run blogcheck, the AST invariant linter (see docs/ANALYSIS.md)",
+        description="Check the concurrency, IPC, and telemetry contracts "
+        "(BLG001-BLG006). Exits 1 when findings remain, 0 on a clean run.",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to check (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--github", action="store_true",
+        help="also emit GitHub Actions ::error annotations per finding",
+    )
+    lint.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
     )
     return p
 
@@ -374,11 +407,46 @@ def _run_serve(args, out) -> int:
         return 0
 
 
+def _run_lint(args, out) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        analyze_paths,
+        render_github,
+        render_json,
+        render_text,
+        rules_by_code,
+    )
+
+    if args.list_rules:
+        for code, cls in rules_by_code().items():
+            print(f"{code}  {cls.name:<28} {cls.summary}", file=out)
+        return 0
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        paths = [Path(__file__).resolve().parent]  # the repro package
+    select = args.select.split(",") if args.select else None
+    try:
+        result = analyze_paths(paths, select=select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=out)
+        return 2
+    if args.format == "json":
+        print(render_json(result), file=out)
+    else:
+        print(render_text(result), file=out)
+    if args.github and result.findings:
+        print(render_github(result), file=out)
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
     if getattr(args, "command", None) == "serve":
         return _run_serve(args, out)
+    if getattr(args, "command", None) == "lint":
+        return _run_lint(args, out)
     if args.nrev is not None:
         from .workloads import run_nrev
 

@@ -346,7 +346,9 @@ def lane_worker_main(conn, lane: int) -> None:  # pragma: no cover — subproces
     while True:
         try:
             msg = pickle.loads(conn.recv_bytes())
-        except (EOFError, OSError):
+        # parent hung up: the child's only move is to exit; the parent
+        # side counts the lane reset
+        except (EOFError, OSError):  # blogcheck: ignore[BLG005]
             return
         try:
             reply = handle(msg)
@@ -354,7 +356,9 @@ def lane_worker_main(conn, lane: int) -> None:  # pragma: no cover — subproces
             reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         try:
             conn.send_bytes(pickle.dumps(reply))
-        except (BrokenPipeError, OSError):
+        # reply pipe gone: parent died or reset the lane; the parent
+        # already treats the silence as WorkerDied
+        except (BrokenPipeError, OSError):  # blogcheck: ignore[BLG005]
             return
         if reply.get("shutdown"):
             return

@@ -25,7 +25,7 @@ Variables with the same name within one clause share a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import ClassVar, Iterator, Optional, Sequence
 
 from .terms import NIL, Atom, Int, Struct, Term, Var, make_list
 
@@ -170,7 +170,7 @@ class _Parser:
     """Recursive-descent parser with operator-precedence expressions."""
 
     # priority table (higher binds looser), standard Prolog xfx/yfx subset
-    _INFIX: dict[str, tuple[int, str]] = {
+    _INFIX: ClassVar[dict[str, tuple[int, str]]] = {
         "is": (700, "xfx"),
         "=": (700, "xfx"),
         "\\=": (700, "xfx"),

@@ -288,5 +288,7 @@ def run_strategy(
     try:
         fn = STRATEGIES[name]
     except KeyError:
-        raise ValueError(f"unknown strategy {name!r}; have {sorted(STRATEGIES)}")
+        raise ValueError(
+            f"unknown strategy {name!r}; have {sorted(STRATEGIES)}"
+        ) from None
     return fn(tree, max_solutions, prune_bound, max_expansions)

@@ -11,6 +11,11 @@ OR-trees.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from .telemetry import MetricsRegistry
+
 __all__ = ["Overloaded", "AdmissionController"]
 
 
@@ -33,7 +38,9 @@ class AdmissionController:
     ``acquire`` never blocks — it admits or raises.
     """
 
-    def __init__(self, max_pending: int, registry=None):
+    def __init__(
+        self, max_pending: int, registry: Optional["MetricsRegistry"] = None
+    ):
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
         self.max_pending = int(max_pending)
@@ -66,7 +73,9 @@ class AdmissionController:
             self.peak_pending = self.pending
         if self._m_pending is not None:
             self._m_pending.set(self.pending)
+        if self._m_peak is not None:
             self._m_peak.set(self.peak_pending)
+        if self._m_admitted is not None:
             self._m_admitted.inc()
 
     def release(self) -> None:

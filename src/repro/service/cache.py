@@ -20,9 +20,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..logic.terms import Struct, Term, Var
+
+if TYPE_CHECKING:
+    from .telemetry import MetricsRegistry
 
 __all__ = [
     "canonical_query",
@@ -98,7 +101,9 @@ class CacheEntry:
 class AnswerCache:
     """LRU answer cache with generation-checked lookups."""
 
-    def __init__(self, capacity: int = 1024, registry=None):
+    def __init__(
+        self, capacity: int = 1024, registry: Optional["MetricsRegistry"] = None
+    ):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = int(capacity)
@@ -127,7 +132,9 @@ class AnswerCache:
             self.misses += 1
             if self._m_misses is not None:
                 self._m_misses.inc()
+            if self._m_stale is not None:
                 self._m_stale.inc()
+            if self._m_entries is not None:
                 self._m_entries.set(len(self._entries))
             return None
         self._entries.move_to_end(key)

@@ -32,7 +32,7 @@ from __future__ import annotations
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.config import BLogConfig
 from ..core.engine import BLogEngine
@@ -40,6 +40,9 @@ from ..logic.program import Program
 from ..weights.persist import delta_store, store_delta
 from ..weights.session import MergeReport, merge_conservative, merge_strong
 from ..weights.store import WeightStore
+
+if TYPE_CHECKING:  # telemetry imports stats; keep this edge type-only
+    from .telemetry import MetricsRegistry
 
 __all__ = ["SessionState", "SessionRouter"]
 
@@ -66,7 +69,7 @@ class SessionState:
 class SessionRouter:
     """Maps sessions to lanes and owns per-session engine state."""
 
-    def __init__(self, n_lanes: int, registry=None):
+    def __init__(self, n_lanes: int, registry: Optional["MetricsRegistry"] = None):
         if n_lanes < 1:
             raise ValueError("need at least one lane")
         self.n_lanes = int(n_lanes)
@@ -88,17 +91,20 @@ class SessionRouter:
         self.sessions_opened += 1
         if self._m_opened is not None:
             self._m_opened.inc()
+        if self._m_live is not None:
             self._m_live.set(len(self._sessions))
 
     def _count_merge(self) -> None:
         self.sessions_merged += 1
         if self._m_merged is not None:
             self._m_merged.inc()
+        if self._m_live is not None:
             self._m_live.set(len(self._sessions))
 
     def _count_abandoned(self, n: int = 1) -> None:
         if self._m_abandoned is not None and n:
             self._m_abandoned.inc(n)
+        if self._m_live is not None:
             self._m_live.set(len(self._sessions))
 
     # -- placement ---------------------------------------------------------
@@ -153,6 +159,8 @@ class SessionRouter:
         """
         state = self._sessions.pop((program_name, session), None)
         if state is None:
+            return None
+        if state.engine is None:  # remote session: close_remote owns the merge
             return None
         report = state.engine.end_session(conservative=conservative)
         self._count_merge()

@@ -257,28 +257,30 @@ class BLogService:
             engine=request.engine,
         )
         try:
-            with trace.span("admission"):
-                self.admission.acquire()
-        except Overloaded:
-            trace.end(ok=False, outcome="rejected")
-            self.stats_agg.record_rejection(
-                TraceEvent(
-                    request_id=rid,
-                    program=request.program,
-                    session=request.session,
-                    engine_requested=request.engine,
-                    engine_used="rejected",
-                    ok=False,
-                    queue_wait_s=trace.root.duration_s,
-                    total_s=trace.root.duration_s,
-                    error="overloaded",
+            try:
+                with trace.span("admission"):
+                    self.admission.acquire()
+            except Overloaded:
+                trace.end(ok=False, outcome="rejected")
+                self.stats_agg.record_rejection(
+                    TraceEvent(
+                        request_id=rid,
+                        program=request.program,
+                        session=request.session,
+                        engine_requested=request.engine,
+                        engine_used="rejected",
+                        ok=False,
+                        queue_wait_s=trace.root.duration_s,
+                        total_s=trace.root.duration_s,
+                        error="overloaded",
+                    )
                 )
-            )
-            raise
-        try:
-            return await self._admitted(request, rid, trace)
+                raise
+            try:
+                return await self._admitted(request, rid, trace)
+            finally:
+                self.admission.release()
         finally:
-            self.admission.release()
             if not trace.ended:  # crash safety: a root span never leaks open
                 trace.end(ok=False, outcome="internal-error")
 
@@ -340,7 +342,12 @@ class BLogService:
             # opening included — happens inside the job so a replay
             # after a worker death re-opens against the fresh child.
             async def run(job: Job):
-                trace.span_at("queue", job.enqueued_at, job.started_at, lane=lane)
+                trace.span_at(
+                    "queue",
+                    job.enqueued_at,
+                    job.started_at or job.enqueued_at,
+                    lane=lane,
+                )
                 with trace.span("lane-dispatch", lane=lane, backend="process"):
                     attempts = 0
                     while True:
@@ -391,8 +398,13 @@ class BLogService:
             )
             state.queries += 1
 
-            async def run(job: Job):
-                trace.span_at("queue", job.enqueued_at, job.started_at, lane=lane)
+            async def run(job: Job):  # type: ignore[no-redef]
+                trace.span_at(
+                    "queue",
+                    job.enqueued_at,
+                    job.started_at or job.enqueued_at,
+                    lane=lane,
+                )
                 with trace.span("lane-dispatch", lane=lane, backend="thread"):
                     attrs: dict = {}
                     with trace.span(
@@ -543,56 +555,68 @@ class BLogService:
         """
         if self.router.get(program, session) is None:
             return None
-        lane = self.router.lane_for(session)
         entry = self.programs.get(program)
+        if entry is None:
+            return None
+        lane = self.router.lane_for(session)
         trace = self.telemetry.tracer.start_trace(
             self._next_id(), name="end_session", program=program, session=session
         )
-
-        if self.backend == "process":
-
-            async def merge(job: Job) -> Optional[MergeReport]:
-                lp = self.pool.lane_process(lane)
-                if (program, session) not in lp.open_sessions:
-                    # parent knows the session but the child lost it
-                    # (respawn since): abandoned, nothing to merge
-                    self.router.close_remote(program, session, None, entry.global_store)
-                    return None
-                try:
-                    reply = await self.pool.remote_call(
-                        lane,
-                        {"op": "close_session", "name": program, "session": session},
-                        self.default_timeout,
-                    )
-                    delta = reply.get("delta")
-                except WorkerDied:
-                    # the child died holding the local store: the lane
-                    # reset already dropped the router state — abandoned
-                    return None
-                lp.open_sessions.discard((program, session))
-                return self.router.close_remote(
-                    program,
-                    session,
-                    delta,
-                    entry.global_store,
-                    alpha=entry.config.alpha,
-                    conservative=conservative,
-                )
-
-        else:
-
-            async def merge(job: Job) -> Optional[MergeReport]:
-                return self.router.close(program, session, conservative=conservative)
-
-        async def run(job: Job) -> Optional[MergeReport]:
-            trace.span_at("queue", job.enqueued_at, job.started_at, lane=lane)
-            with trace.span("merge", lane=lane, backend=self.backend) as span:
-                report = await merge(job)
-                span.set("merged", report is not None)
-                return report
-
-        job = self.pool.submit(lane, run)
         try:
+            if self.backend == "process":
+
+                async def merge(job: Job) -> Optional[MergeReport]:
+                    lp = self.pool.lane_process(lane)
+                    if (program, session) not in lp.open_sessions:
+                        # parent knows the session but the child lost it
+                        # (respawn since): abandoned, nothing to merge
+                        self.router.close_remote(
+                            program, session, None, entry.global_store
+                        )
+                        return None
+                    try:
+                        reply = await self.pool.remote_call(
+                            lane,
+                            {"op": "close_session", "name": program, "session": session},
+                            self.default_timeout,
+                        )
+                        delta = reply.get("delta")
+                    except WorkerDied:
+                        # the child died holding the local store: the lane
+                        # reset already dropped the router state — abandoned
+                        return None
+                    lp.open_sessions.discard((program, session))
+                    return self.router.close_remote(
+                        program,
+                        session,
+                        delta,
+                        entry.global_store,
+                        alpha=entry.config.alpha,
+                        conservative=conservative,
+                    )
+
+            else:
+
+                async def merge(job: Job) -> Optional[MergeReport]:  # type: ignore[no-redef]
+                    return self.router.close(
+                        program, session, conservative=conservative
+                    )
+
+            async def run(job: Job) -> Optional[MergeReport]:
+                trace.span_at(
+                    "queue",
+                    job.enqueued_at,
+                    job.started_at or job.enqueued_at,
+                    lane=lane,
+                )
+                with trace.span("merge", lane=lane, backend=self.backend) as span:
+                    report = await merge(job)
+                    span.set("merged", report is not None)
+                    return report
+
+            # submit() itself can raise (pool shutting down): keep it under
+            # the same try/finally as the await, or the trace leaks open
+            job = self.pool.submit(lane, run)
             return await job.future
         finally:
             trace.end()
@@ -769,12 +793,15 @@ class BLogService:
                 writer.write((json.dumps(reply) + "\n").encode("utf-8"))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
-            pass
+            # a client vanishing mid-reply is normal churn, but it must
+            # stay visible on the dashboards (blogcheck BLG005)
+            self.telemetry.registry.counter("blog_client_disconnects_total").inc()
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            # already counted above; wait_closed only confirms the close
+            except (ConnectionResetError, BrokenPipeError):  # blogcheck: ignore[BLG005]
                 pass
 
     async def _dispatch_line(self, line: bytes) -> dict:

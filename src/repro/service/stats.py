@@ -16,7 +16,10 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # telemetry imports this module; keep the edge type-only
+    from .telemetry import MetricsRegistry
 
 __all__ = [
     "TraceEvent",
@@ -82,7 +85,7 @@ class ServiceStats:
     as before.
     """
 
-    def __init__(self, registry=None):
+    def __init__(self, registry: Optional["MetricsRegistry"] = None):
         self.events: list[TraceEvent] = []
         self.rejected = 0
         #: rejection trace events (kept apart from ``events`` so the

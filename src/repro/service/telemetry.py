@@ -36,7 +36,7 @@ import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, ClassVar, Optional
 
 from .stats import percentile
 
@@ -48,11 +48,50 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "METRIC_CATALOG",
     "JsonlTraceLog",
     "Telemetry",
     "format_trace",
     "read_trace_log",
 ]
+
+
+#: Every metric series the service emits, name -> kind.  The registry
+#: registers lazily, so a typo at a call site would otherwise mint a new
+#: series nobody reads; blogcheck rule BLG006 pins every literal
+#: registration in ``src/`` to this catalog.  Add the name here first,
+#: then use it.
+METRIC_CATALOG: dict[str, str] = {
+    # request path (stats.py)
+    "blog_requests_total": "counter",
+    "blog_requests_engine_total": "counter",
+    "blog_request_cache_hits_total": "counter",
+    "blog_errors_total": "counter",
+    "blog_degraded_total": "counter",
+    "blog_retries_total": "counter",
+    "blog_request_seconds": "histogram",
+    "blog_queue_wait_seconds": "histogram",
+    "blog_engine_seconds": "histogram",
+    "blog_rejection_seconds": "histogram",
+    # sessions (router.py)
+    "blog_sessions_opened_total": "counter",
+    "blog_sessions_merged_total": "counter",
+    "blog_sessions_abandoned_total": "counter",
+    "blog_sessions_open": "gauge",
+    # admission (admission.py)
+    "blog_pending": "gauge",
+    "blog_peak_pending": "gauge",
+    "blog_admitted_total": "counter",
+    "blog_rejected_total": "counter",
+    # answer cache (cache.py)
+    "blog_cache_hits_total": "counter",
+    "blog_cache_misses_total": "counter",
+    "blog_cache_stale_total": "counter",
+    "blog_cache_entries": "gauge",
+    # transport (server.py)
+    "blog_lane_resets_total": "counter",
+    "blog_client_disconnects_total": "counter",
+}
 
 
 # -- spans -------------------------------------------------------------------
@@ -386,7 +425,11 @@ class MetricsRegistry:
     raises immediately.
     """
 
-    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+    _KINDS: ClassVar[dict[str, type]] = {
+        "counter": Counter,
+        "gauge": Gauge,
+        "histogram": Histogram,
+    }
 
     def __init__(self) -> None:
         self._series: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}

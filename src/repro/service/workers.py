@@ -97,6 +97,10 @@ class LaneBackend:
     """How a lane's work is executed; see the module docstring."""
 
     kind: str = "?"
+    #: called with the lane index after a lane loses its worker (process
+    #: backend: kill/respawn); declared on the base so the service can
+    #: install its hook without knowing which backend it got
+    on_lane_reset: Optional[Callable[[int], None]] = None
 
     async def start(self, n_lanes: int) -> None:
         raise NotImplementedError
@@ -221,7 +225,9 @@ class _LaneProcess:
             if self.proc.is_alive() and self.conn is not None:
                 self.conn.send_bytes(pickle.dumps({"op": "shutdown"}))
                 self.proc.join(timeout=1.0)
-        except (BrokenPipeError, OSError):
+        # shutdown path: the pipe dying here means the child already
+        # exited; the kill() below is the handling
+        except (BrokenPipeError, OSError):  # blogcheck: ignore[BLG005]
             pass
         if self.proc.is_alive():
             self.proc.kill()
@@ -229,7 +235,7 @@ class _LaneProcess:
         for conn in self.retired_conns:
             try:
                 conn.close()
-            except OSError:
+            except OSError:  # blogcheck: ignore[BLG005] — retired conn, already dead
                 pass
         self.retired_conns = []
         if self.conn is not None:
@@ -256,10 +262,10 @@ class ProcessLaneBackend(LaneBackend):
         self.mp_context = mp_context
         self.lanes: list[_LaneProcess] = []
         self._io: Optional[ThreadPoolExecutor] = None
-        #: called with the lane index after a kill/respawn, before the
-        #: triggering exception propagates; the service drops the lane's
-        #: router sessions here so a lost child is never merged
-        self.on_lane_reset: Optional[Callable[[int], None]] = None
+        #: the reset hook fires before the triggering exception
+        #: propagates; the service drops the lane's router sessions
+        #: there so a lost child is never merged
+        self.on_lane_reset = None
 
     async def start(self, n_lanes: int) -> None:
         self._io = ThreadPoolExecutor(

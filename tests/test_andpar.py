@@ -1,6 +1,7 @@
 """Unit tests for the §7 AND-parallel extensions."""
 
 import pytest
+from typing import ClassVar
 
 from repro.andpar import (
     AndParallelExecutor,
@@ -145,8 +146,8 @@ class TestExecutor:
 
 
 class TestJoins:
-    L = [("sam", "larry"), ("curt", "elain"), ("dan", "pat")]
-    R = [("larry", "den"), ("larry", "doug"), ("pat", "john"), ("zed", "x")]
+    L: ClassVar[list] = [("sam", "larry"), ("curt", "elain"), ("dan", "pat")]
+    R: ClassVar[list] = [("larry", "den"), ("larry", "doug"), ("pat", "john"), ("zed", "x")]
 
     def test_nested_loop_correct(self):
         out, stats = nested_loop_join(self.L, self.R, 1, 0)

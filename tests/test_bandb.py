@@ -131,7 +131,7 @@ class TestParallelFormulation:
     def test_more_processors_fewer_iterations(self):
         wl = synthetic_tree(branching=3, depth=4, seed=1)
 
-        def factory(n=[0]):
+        def factory():
             return OrTreeProblem(OrTree(wl.program, wl.query, max_depth=16))
 
         r1 = parallel_best_first(factory(), 1, max_solutions=None)

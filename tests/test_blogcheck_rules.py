@@ -1,0 +1,417 @@
+"""Per-rule fixture tests for blogcheck (src/repro/analysis).
+
+Each rule gets one bad snippet (must flag) and one good snippet (must
+stay quiet); plus suppression-comment behavior, the JSON reporter
+schema, and the CLI exit codes the CI gate relies on.
+
+Fixture files are written under ``tmp_path/repro/...`` so that
+:func:`repro.analysis.runner.module_identity` gives them the same
+package-relative identity the real tree has — the module-scoped rules
+(BLG001, BLG005, BLG006) key off that.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis import analyze_paths, render_json, rules_by_code
+from repro.analysis.runner import module_identity
+from repro.cli import main
+
+
+def lint_snippet(tmp_path: Path, relpath: str, source: str, select=None):
+    """Write one fixture file and run blogcheck over the tmp tree."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return analyze_paths([tmp_path], select=select)
+
+
+def codes(result) -> list[str]:
+    return [f.rule for f in result.findings]
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        registry = rules_by_code()
+        assert sorted(registry) == [
+            "BLG001", "BLG002", "BLG003", "BLG004", "BLG005", "BLG006",
+        ]
+
+    def test_module_identity_from_repro_root(self, tmp_path):
+        p = tmp_path / "deep" / "repro" / "weights" / "store.py"
+        p.parent.mkdir(parents=True)
+        p.write_text("")
+        assert module_identity(p) == "repro/weights/store.py"
+        assert module_identity(tmp_path / "scratch.py") == "scratch.py"
+
+
+class TestStoreMutation:
+    BAD = "def f(store, w):\n    store.set_known('arc', w)\n"
+
+    def test_flags_mutator_outside_whitelist(self, tmp_path):
+        result = lint_snippet(tmp_path, "repro/ortree/bad.py", self.BAD)
+        assert codes(result) == ["BLG001"]
+
+    def test_quiet_inside_weights_package(self, tmp_path):
+        result = lint_snippet(tmp_path, "repro/weights/ok.py", self.BAD)
+        assert result.ok
+
+    def test_quiet_outside_the_package(self, tmp_path):
+        # scripts/tests exercise mutators directly; the contract governs repro/
+        result = lint_snippet(tmp_path, "scratch.py", self.BAD)
+        assert result.ok
+
+    def test_merge_api_flagged(self, tmp_path):
+        src = "def f(g, l):\n    return merge_strong(g, l)\n"
+        result = lint_snippet(tmp_path, "repro/service/bad.py", src)
+        assert codes(result) == ["BLG001"]
+
+    def test_clear_needs_storelike_receiver(self, tmp_path):
+        src = "def f(self):\n    self.marks.clear()\n    self.store.clear()\n"
+        result = lint_snippet(tmp_path, "repro/spd/x.py", src)
+        assert codes(result) == ["BLG001"]  # only self.store.clear()
+
+
+class TestBlockingAsync:
+    def test_flags_sleep_in_async(self, tmp_path):
+        src = "import time\nasync def f():\n    time.sleep(1)\n"
+        result = lint_snippet(tmp_path, "repro/service/bad.py", src)
+        assert codes(result) == ["BLG002"]
+
+    def test_quiet_in_sync_def_and_async_sleep(self, tmp_path):
+        src = (
+            "import asyncio, time\n"
+            "def g():\n    time.sleep(1)\n"
+            "async def f():\n    await asyncio.sleep(1)\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/ok.py", src)
+        assert result.ok
+
+    def test_sync_def_nested_in_async_is_quiet(self, tmp_path):
+        src = (
+            "import time\n"
+            "async def f():\n"
+            "    def worker():\n        time.sleep(1)\n"
+            "    return worker\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/ok2.py", src)
+        assert result.ok
+
+    def test_flags_sync_pipe_io_in_async(self, tmp_path):
+        src = "async def f(conn):\n    return conn.recv_bytes()\n"
+        result = lint_snippet(tmp_path, "repro/service/bad2.py", src)
+        assert codes(result) == ["BLG002"]
+
+
+class TestPickleSafety:
+    def test_flags_lambda_payload(self, tmp_path):
+        src = "import pickle\ndef f(conn):\n    conn.send(pickle.dumps(lambda: 1))\n"
+        result = lint_snippet(tmp_path, "repro/service/bad.py", src)
+        assert codes(result) == ["BLG003"]
+
+    def test_flags_locally_defined_function(self, tmp_path):
+        src = (
+            "import pickle\n"
+            "def f(conn):\n"
+            "    def h():\n        return 1\n"
+            "    conn.send(pickle.dumps(h))\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/bad2.py", src)
+        assert codes(result) == ["BLG003"]
+
+    def test_flags_remote_call_payload(self, tmp_path):
+        src = "async def f(pool, lane):\n    await pool.remote_call(lane, {'f': lambda: 1}, 1.0)\n"
+        result = lint_snippet(tmp_path, "repro/service/bad3.py", src)
+        assert codes(result) == ["BLG003"]
+
+    def test_quiet_on_plain_data_and_module_level_defs(self, tmp_path):
+        src = (
+            "import pickle\n"
+            "def top():\n    return 1\n"
+            "def f(conn):\n"
+            "    conn.send(pickle.dumps({'op': 'query', 'fn': top}))\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/ok.py", src)
+        assert result.ok
+
+
+class TestSpanLeak:
+    def test_flags_end_not_under_try_finally(self, tmp_path):
+        src = (
+            "def f(tracer, work):\n"
+            "    trace = tracer.start_trace('id')\n"
+            "    work()\n"
+            "    trace.end()\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/bad.py", src)
+        assert codes(result) == ["BLG004"]
+
+    def test_flags_never_ended(self, tmp_path):
+        src = (
+            "def f(tracer, work):\n"
+            "    span = tracer.start_span('phase')\n"
+            "    work()\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/bad2.py", src)
+        assert codes(result) == ["BLG004"]
+
+    def test_flags_risk_before_protecting_try(self, tmp_path):
+        # the PR-4 true-positive shape: work sits between the start and
+        # the try/finally that ends the span
+        src = (
+            "def f(tracer, prepare, work):\n"
+            "    trace = tracer.start_trace('id')\n"
+            "    job = prepare()\n"
+            "    try:\n"
+            "        return work(job)\n"
+            "    finally:\n"
+            "        trace.end()\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/bad3.py", src)
+        assert codes(result) == ["BLG004"]
+
+    def test_quiet_under_try_finally(self, tmp_path):
+        src = (
+            "def f(tracer, work):\n"
+            "    trace = tracer.start_trace('id')\n"
+            "    try:\n"
+            "        return work()\n"
+            "    finally:\n"
+            "        trace.end()\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/ok.py", src)
+        assert result.ok
+
+    def test_quiet_when_span_is_returned(self, tmp_path):
+        # ownership transfer: the caller ends it
+        src = (
+            "def start(tracer):\n"
+            "    trace = tracer.start_trace('id')\n"
+            "    return trace\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/ok2.py", src)
+        assert result.ok
+
+    def test_quiet_on_conditional_end_then_protected(self, tmp_path):
+        src = (
+            "def f(tracer, bad, work):\n"
+            "    trace = tracer.start_trace('id')\n"
+            "    if bad:\n"
+            "        trace.end(ok=False)\n"
+            "        return None\n"
+            "    try:\n"
+            "        return work()\n"
+            "    finally:\n"
+            "        trace.end()\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/ok3.py", src)
+        assert result.ok
+
+    def test_timer_flagged_and_protected(self, tmp_path):
+        bad = (
+            "import time\n"
+            "def f(hist, work):\n"
+            "    t0 = time.monotonic()\n"
+            "    work()\n"
+            "    hist.observe(time.monotonic() - t0)\n"
+        )
+        good = (
+            "import time\n"
+            "def f(hist, work):\n"
+            "    t0 = time.monotonic()\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        hist.observe(time.monotonic() - t0)\n"
+        )
+        assert codes(lint_snippet(tmp_path / "a", "repro/service/t_bad.py", bad)) == [
+            "BLG004"
+        ]
+        assert lint_snippet(tmp_path / "b", "repro/service/t_ok.py", good).ok
+
+    def test_untracked_timer_is_quiet(self, tmp_path):
+        # t0 never feeds an observe/record: not a duration measurement
+        src = (
+            "import time\n"
+            "def f(work):\n"
+            "    t0 = time.monotonic()\n"
+            "    work()\n"
+            "    return t0\n"
+        )
+        assert lint_snippet(tmp_path, "repro/service/t_ok2.py", src).ok
+
+
+class TestSwallowedException:
+    def test_flags_pass_only_handler(self, tmp_path):
+        src = "def f(g):\n    try:\n        g()\n    except Exception:\n        pass\n"
+        result = lint_snippet(tmp_path, "repro/service/bad.py", src)
+        assert codes(result) == ["BLG005"]
+
+    def test_flags_bare_except(self, tmp_path):
+        src = "def f(g):\n    try:\n        g()\n    except:\n        g = None\n"
+        result = lint_snippet(tmp_path, "repro/service/bad2.py", src)
+        assert codes(result) == ["BLG005"]
+
+    def test_quiet_when_handler_counts_or_replies(self, tmp_path):
+        src = (
+            "def f(g, counter):\n"
+            "    try:\n        return g()\n"
+            "    except OSError:\n        counter.inc()\n"
+            "    except ValueError as exc:\n        return {'ok': False, 'error': str(exc)}\n"
+        )
+        result = lint_snippet(tmp_path, "repro/service/ok.py", src)
+        assert result.ok
+
+    def test_scoped_to_hot_paths(self, tmp_path):
+        src = "def f(g):\n    try:\n        g()\n    except Exception:\n        pass\n"
+        result = lint_snippet(tmp_path, "repro/logic/ok.py", src)
+        assert result.ok
+
+
+class TestMetricHygiene:
+    def test_flags_missing_prefix(self, tmp_path):
+        src = "def f(reg):\n    reg.counter('requests_total').inc()\n"
+        result = lint_snippet(tmp_path, "repro/service/bad.py", src)
+        assert codes(result) == ["BLG006"]
+
+    def test_flags_uncataloged_name(self, tmp_path):
+        src = "def f(reg):\n    reg.counter('blog_surprise_total').inc()\n"
+        result = lint_snippet(tmp_path, "repro/service/bad2.py", src)
+        assert codes(result) == ["BLG006"]
+
+    def test_flags_catalog_kind_mismatch(self, tmp_path):
+        src = "def f(reg):\n    reg.gauge('blog_requests_total').set(1)\n"
+        result = lint_snippet(tmp_path, "repro/service/bad3.py", src)
+        assert codes(result) == ["BLG006"]
+
+    def test_cross_file_kind_conflict(self, tmp_path):
+        a = "def f(reg):\n    reg.counter('blog_zzz_total').inc()\n"
+        b = "def g(reg):\n    reg.gauge('blog_zzz_total').set(1)\n"
+        (tmp_path / "repro" / "service").mkdir(parents=True)
+        (tmp_path / "repro" / "service" / "a.py").write_text(a)
+        (tmp_path / "repro" / "service" / "b.py").write_text(b)
+        result = analyze_paths([tmp_path])
+        msgs = [f.message for f in result.findings if f.rule == "BLG006"]
+        assert any("registered as a gauge here but as a counter" in m for m in msgs)
+
+    def test_quiet_on_cataloged_use(self, tmp_path):
+        src = "def f(reg):\n    reg.counter('blog_requests_total').inc()\n"
+        result = lint_snippet(tmp_path, "repro/service/ok.py", src)
+        assert result.ok
+
+
+class TestSuppressions:
+    BAD = "def f(store, w):\n    store.set_known('arc', w){comment}\n"
+
+    def test_same_line_suppression(self, tmp_path):
+        src = self.BAD.format(comment="  # blogcheck: ignore[BLG001] — test fixture")
+        result = lint_snippet(tmp_path, "repro/ortree/x.py", src)
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["BLG001"]
+
+    def test_comment_line_above_suppresses_next_line(self, tmp_path):
+        src = (
+            "def f(store, w):\n"
+            "    # blogcheck: ignore[BLG001]\n"
+            "    store.set_known('arc', w)\n"
+        )
+        result = lint_snippet(tmp_path, "repro/ortree/x.py", src)
+        assert result.ok and len(result.suppressed) == 1
+
+    def test_bare_ignore_silences_all_rules(self, tmp_path):
+        src = self.BAD.format(comment="  # blogcheck: ignore")
+        result = lint_snippet(tmp_path, "repro/ortree/x.py", src)
+        assert result.ok
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        src = self.BAD.format(comment="  # blogcheck: ignore[BLG002]")
+        result = lint_snippet(tmp_path, "repro/ortree/x.py", src)
+        assert codes(result) == ["BLG001"]
+
+
+class TestReporting:
+    def test_json_schema_stable(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/service/bad.py",
+            "def f(g):\n    try:\n        g()\n    except Exception:\n        pass\n",
+        )
+        doc = json.loads(render_json(result))
+        assert doc["version"] == 1
+        assert set(doc) == {"version", "files", "counts", "findings", "suppressed"}
+        assert doc["counts"] == {"BLG005": 1}
+        (finding,) = doc["findings"]
+        assert set(finding) == {
+            "rule", "name", "path", "module", "line", "col", "message",
+        }
+        assert finding["module"] == "repro/service/bad.py"
+
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        result = lint_snippet(tmp_path, "repro/service/broken.py", "def f(:\n")
+        assert codes(result) == ["BLG000"]
+
+
+class TestCli:
+    SEEDS = {
+        "BLG001": "def f(store, w):\n    store.set_known('a', w)\n",
+        "BLG002": "import time\nasync def f():\n    time.sleep(1)\n",
+        "BLG003": "import pickle\ndef f(c):\n    c.send(pickle.dumps(lambda: 1))\n",
+        "BLG004": (
+            "def f(tracer, work):\n"
+            "    trace = tracer.start_trace('id')\n"
+            "    work()\n"
+            "    trace.end()\n"
+        ),
+        "BLG005": "def f(g):\n    try:\n        g()\n    except Exception:\n        pass\n",
+        "BLG006": "def f(reg):\n    reg.counter('oops_total').inc()\n",
+    }
+
+    def test_each_rule_fails_the_cli_gate(self, tmp_path):
+        # the acceptance criterion: a seeded violation of every rule
+        # makes `python -m repro.cli lint` exit non-zero
+        for code, src in self.SEEDS.items():
+            root = tmp_path / code.lower()
+            target = root / "repro" / "service" / "seeded.py"
+            target.parent.mkdir(parents=True)
+            target.write_text(src)
+            out = io.StringIO()
+            assert main(["lint", str(root)], out=out) == 1, code
+            assert code in out.getvalue(), code
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        target = tmp_path / "repro" / "service" / "fine.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def f():\n    return 1\n")
+        out = io.StringIO()
+        assert main(["lint", str(tmp_path)], out=out) == 0
+        assert "clean" in out.getvalue()
+
+    def test_github_annotations(self, tmp_path):
+        target = tmp_path / "repro" / "service" / "seeded.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(self.SEEDS["BLG005"])
+        out = io.StringIO()
+        assert main(["lint", str(tmp_path), "--github"], out=out) == 1
+        text = out.getvalue()
+        assert "::error file=" in text and "BLG005" in text
+
+    def test_select_and_list_rules(self, tmp_path):
+        target = tmp_path / "repro" / "service" / "seeded.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(self.SEEDS["BLG005"])
+        # selecting a different rule: the BLG005 violation is not checked
+        assert main(["lint", str(tmp_path), "--select", "BLG001"], out=io.StringIO()) == 0
+        assert main(["lint", str(tmp_path), "--select", "nope"], out=io.StringIO()) == 2
+        out = io.StringIO()
+        assert main(["lint", "--list-rules"], out=out) == 0
+        assert out.getvalue().count("BLG") == 6
+
+    def test_json_format_flag(self, tmp_path):
+        target = tmp_path / "repro" / "service" / "fine.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")
+        out = io.StringIO()
+        assert main(["lint", str(tmp_path), "--format", "json"], out=out) == 0
+        assert json.loads(out.getvalue())["version"] == 1

@@ -1,0 +1,49 @@
+"""The self-check: the repo must lint clean under its own linter.
+
+This is the regression gate ISSUE 4 asks for — once the tree is clean,
+it can never silently regress: a new store-mutation site, blocking call
+in a coroutine, unpicklable lane payload, leaked span, swallowed
+exception, or uncataloged metric fails this test (and the CI `lint`
+job) immediately.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+TESTS = REPO / "tests"
+
+
+def test_repo_lints_clean():
+    result = analyze_paths([SRC, TESTS])
+    assert result.files > 100  # sanity: the walk actually saw the tree
+    details = "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
+    )
+    assert result.ok, f"blogcheck found regressions:\n{details}"
+
+
+def test_suppressions_are_counted_not_lost():
+    # the tree carries a handful of justified suppressions (shutdown-path
+    # pipe errors etc.); the runner must surface them, not drop them
+    result = analyze_paths([SRC])
+    assert len(result.suppressed) >= 1
+    assert all(f.rule == "BLG005" for f in result.suppressed)
+
+
+def test_cli_gate_passes_on_the_repo():
+    out = io.StringIO()
+    assert main(["lint", str(SRC), str(TESTS)], out=out) == 0
+    assert "clean" in out.getvalue()
+
+
+def test_default_path_is_the_package():
+    # `python -m repro.cli lint` with no paths lints the installed package
+    out = io.StringIO()
+    assert main(["lint"], out=out) == 0

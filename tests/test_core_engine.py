@@ -141,7 +141,7 @@ class TestSessions:
 
     def test_session_abort_on_error(self, figure1):
         eng = BLogEngine(figure1)
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError, match="unbound"):
             eng.run_session(["gf(sam, G)", "X"])  # unbound goal raises
         assert not eng.sessions.in_session
 

@@ -16,6 +16,7 @@ import os
 import time
 
 import pytest
+from typing import ClassVar
 
 from repro.logic.parser import parse_query
 from repro.service import (
@@ -458,7 +459,7 @@ class TestLoadAcceptance:
     lost/duplicated answers, latency + hit-rate reported, cache
     invalidated by a session merge."""
 
-    QUERIES = {
+    QUERIES: ClassVar[dict] = {
         "family": {
             "gf(sam, G)": {"den", "doug"},
             "gf(curt, G)": {"john"},
