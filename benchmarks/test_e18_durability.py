@@ -1,0 +1,142 @@
+"""E18 — durability overhead: WAL + checkpointing vs. in-memory serving.
+
+The same closed-loop mixed-session load as E16 (family queries across
+rotating sessions, every session merged at the end) runs three ways:
+
+* ``off``      — no data dir, the PR-1 in-memory behaviour,
+* ``wal``      — ``data_dir`` set, every acked merge fsynced to the
+  journal before its ``end_session`` reply resolves,
+* ``wal+ckpt`` — the same plus a checkpoint after the load (the
+  steady-state compaction cost, measured separately).
+
+The contract being priced: queries never touch the WAL (only session
+merges do), so query throughput should be within noise across modes
+while ``end_session`` picks up roughly one fsync of latency.  The table
+records both, plus recovery time for the journal the load left behind —
+the boot-time cost the durability buys.
+"""
+
+import asyncio
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.service import BLogService, QueryRequest
+from repro.weights.wal import DurableStore
+from repro.workloads import family_program
+
+CLIENTS = 8
+TOTAL = 240
+SESSIONS = 12
+
+FAMILY_QUERIES = ["gf(sam, G)", "gf(curt, G)", "f(sam, Y)", "f(larry, Y)"]
+
+
+async def drive(data_dir, checkpoint_after: bool) -> dict:
+    svc = BLogService(
+        {"family": family_program()},
+        n_workers=2,
+        max_pending=TOTAL + 8,
+        data_dir=data_dir,
+    )
+    await svc.start()
+    queue = asyncio.Queue()
+    for i in range(TOTAL):
+        queue.put_nowait(
+            (f"r{i}", FAMILY_QUERIES[i % len(FAMILY_QUERIES)], f"sess{i % SESSIONS}")
+        )
+    failures = []
+
+    async def client():
+        while True:
+            try:
+                rid, q, sess = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            resp = await svc.submit(
+                QueryRequest("family", q, session=sess, request_id=rid)
+            )
+            if not resp.ok:
+                failures.append((rid, resp.error))
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*[client() for _ in range(CLIENTS)])
+    query_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    merges = 0
+    for s in range(SESSIONS):
+        report = await svc.end_session("family", f"sess{s}")
+        if report is not None:
+            merges += 1
+    merge_s = time.perf_counter() - t0
+
+    ckpt_s = 0.0
+    if checkpoint_after:
+        t0 = time.perf_counter()
+        await svc.checkpoint()
+        ckpt_s = time.perf_counter() - t0
+    if data_dir is not None:
+        # freeze the on-disk state as a crash would leave it: stop()'s
+        # final checkpoint would otherwise compact the journal away
+        shutil.copytree(data_dir, Path(str(data_dir) + "-crash"))
+    await svc.stop()
+    assert not failures, failures
+    return {
+        "qps": TOTAL / query_s,
+        "merge_ms": merge_s * 1000.0 / max(1, merges),
+        "ckpt_ms": ckpt_s * 1000.0,
+    }
+
+
+def recovery_ms(data_dir: Path) -> tuple[float, int]:
+    ds = DurableStore(data_dir / "family", n=16.0, a=16)
+    t0 = time.perf_counter()
+    _, info = ds.recover()
+    elapsed = (time.perf_counter() - t0) * 1000.0
+    ds.close()
+    return elapsed, info.records_replayed
+
+
+def test_e18_durability_overhead():
+    rows = []
+    root = Path(tempfile.mkdtemp(prefix="blog-e18-"))
+    try:
+        for mode, data_dir, ckpt in (
+            ("off", None, False),
+            ("wal", root / "wal", False),
+            ("wal+ckpt", root / "ckpt", True),
+        ):
+            out = asyncio.run(drive(data_dir, ckpt))
+            row = {
+                "mode": mode,
+                "qps": round(out["qps"], 1),
+                "merge_ms": round(out["merge_ms"], 3),
+                "ckpt_ms": round(out["ckpt_ms"], 3),
+                "recover_ms": "",
+                "replayed": "",
+            }
+            if data_dir is not None:
+                rec_ms, replayed = recovery_ms(Path(str(data_dir) + "-crash"))
+                row["recover_ms"] = round(rec_ms, 3)
+                row["replayed"] = replayed
+                if not ckpt:
+                    assert replayed > 0  # the journal held the merges
+                else:
+                    assert replayed == 0  # the checkpoint compacted them
+            rows.append(row)
+        emit(
+            "E18",
+            "durability overhead (WAL + checkpoint vs. in-memory)",
+            rows,
+            columns=["mode", "qps", "merge_ms", "ckpt_ms", "recover_ms", "replayed"],
+        )
+        off = rows[0]["qps"]
+        for row in rows[1:]:
+            # the durability tax lands on merges, not on the query path
+            assert row["qps"] > off * 0.5, rows
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -119,7 +119,12 @@ def rule(cls: Type[Rule]) -> Type[Rule]:
 
 def rules_by_code() -> dict[str, Type[Rule]]:
     """The registry, importing the built-in rule modules on first use."""
-    from . import rules_concurrency, rules_ipc, rules_telemetry  # noqa: F401
+    from . import (  # noqa: F401
+        rules_concurrency,
+        rules_durability,
+        rules_ipc,
+        rules_telemetry,
+    )
 
     return dict(sorted(_REGISTRY.items()))
 

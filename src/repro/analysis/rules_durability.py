@@ -1,0 +1,111 @@
+"""Durability-contract rule: the atomic-write discipline in ``repro/weights``.
+
+The persistence layer (PR 5) promises that a crash at *any* instant
+leaves every on-disk store either old or new, never torn.  That rests
+on one idiom, used everywhere state is persisted::
+
+    fh = open(tmp, "w")           # write the new content to a tmp file
+    ...; fh.flush()
+    os.fsync(fh.fileno())          # durable before it becomes visible
+    fh.close()
+    os.replace(tmp, path)          # atomic swap
+
+Two ways code quietly breaks the promise:
+
+* ``os.replace`` without a preceding ``os.fsync`` — the rename is
+  atomic in the *namespace*, but the new file's **data** may still sit
+  in the page cache; a power cut after the rename can leave the final
+  path holding a zero-length or partial file.
+* handle-less write APIs (``Path.write_text`` / ``write_bytes``) — no
+  handle means no fsync and no tmp-file swap; the write is torn-able by
+  construction.  Exactly the bug class the original ``save_store``
+  shipped.
+
+**BLG007** pins the idiom for every file under ``repro/weights/``
+(where the durable stores live).  Scoping is lexical per function: an
+``os.replace`` must see an ``os.fsync`` earlier in the same function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import FileContext, Finding, Rule, rule
+from .rules_concurrency import dotted_name
+
+__all__ = ["AtomicWriteRule"]
+
+
+@rule
+class AtomicWriteRule(Rule):
+    """BLG007: persistence writes in ``repro/weights`` must follow the
+    fsync-then-replace discipline."""
+
+    code = "BLG007"
+    name = "unsynced-persistence"
+    summary = "weight-store write without fsync-before-replace discipline"
+
+    SCOPE = "repro/weights/"
+    HANDLELESS = frozenset({"write_text", "write_bytes"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.SCOPE):
+            return
+        yield from self._check_scope(ctx, ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, node)
+
+    # -- one lexical scope (module body or one function body) --------------
+    def _check_scope(self, ctx: FileContext, scope: ast.AST) -> Iterator[Finding]:
+        calls = self._own_calls(scope)
+        fsync_lines = [
+            c.lineno for c in calls if dotted_name(c.func) == "os.fsync"
+        ]
+        for call in calls:
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in self.HANDLELESS
+            ):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"'{call.func.attr}' persists weight-store state without "
+                    "a file handle — there is nothing to fsync and no atomic "
+                    "tmp-file swap, so a crash mid-write leaves a torn file; "
+                    "use open() + flush + os.fsync + os.replace "
+                    "(see save_store / DurableStore.write_checkpoint)",
+                )
+                continue
+            if dotted_name(call.func) == "os.replace":
+                if not any(line < call.lineno for line in fsync_lines):
+                    yield self.finding(
+                        ctx,
+                        call,
+                        "os.replace without a preceding os.fsync in this "
+                        "function: the rename is atomic in the namespace but "
+                        "the new file's data may still sit in the page cache — "
+                        "a power cut after the rename leaves the destination "
+                        "truncated; fsync the written handle first",
+                    )
+
+    @staticmethod
+    def _own_calls(scope: ast.AST) -> list[ast.Call]:
+        """Every call lexically inside ``scope``, excluding nested
+        function/class bodies (each gets its own scope check)."""
+        out: list[ast.Call] = []
+
+        def walk(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+                ):
+                    continue
+                if isinstance(child, ast.Call):
+                    out.append(child)
+                walk(child)
+
+        walk(scope)
+        return out

@@ -15,9 +15,18 @@ The ``serve`` subcommand runs the concurrent query service instead::
     python -m repro serve --demo --port 8750
     python -m repro serve --source family.pl --workers 8 --max-pending 128
     python -m repro serve --demo --selfcheck   # start, query itself, exit
+    python -m repro serve --demo --data-dir var/blog   # durable weights:
+                                  # WAL + checkpoints, SIGTERM drains
 
 Clients speak one JSON object per line over TCP; see
 :mod:`repro.service`.
+
+The ``recover`` subcommand replays a ``--data-dir`` offline — report
+what a boot would restore, or compact the journal into a fresh
+snapshot (see ``docs/OPERATIONS.md``)::
+
+    python -m repro recover var/blog
+    python -m repro recover var/blog --compact --format json
 
 The ``lint`` subcommand runs blogcheck, the repo's AST invariant
 linter (see :mod:`repro.analysis` and ``docs/ANALYSIS.md``)::
@@ -151,11 +160,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="start, run a few queries against itself over TCP, "
         "print stats, and exit (smoke test)",
     )
+    serve.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help="durable weight stores: WAL-journal every acknowledged "
+        "session merge under DIR/<program>/ and recover on boot "
+        "(see docs/OPERATIONS.md)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SECONDS",
+        help="write a compacting snapshot every SECONDS (with --data-dir; "
+        "default: only at shutdown)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-drain deadline for in-flight work on SIGTERM/SIGINT "
+        "(default 10)",
+    )
+    recover = sub.add_parser(
+        "recover",
+        help="inspect or compact a service data directory offline",
+        description="Replay each program's snapshot + WAL under DIR "
+        "(exactly what `serve --data-dir DIR` does at boot) and report "
+        "what recovery would see; --compact additionally writes a fresh "
+        "snapshot and truncates the journal. Exits 1 when any store is "
+        "corrupt.",
+    )
+    recover.add_argument(
+        "data_dir", metavar="DIR", help="the service's --data-dir"
+    )
+    recover.add_argument(
+        "--program", default=None, metavar="NAME",
+        help="only this program's store (default: every subdirectory)",
+    )
+    recover.add_argument(
+        "--compact", action="store_true",
+        help="write a fresh snapshot and truncate each journal",
+    )
+    recover.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    recover.add_argument("--n", type=float, default=16.0, help="target bound N (§5)")
+    recover.add_argument("--a", type=int, default=16, help="max chain length A (§5)")
     lint = sub.add_parser(
         "lint",
         help="run blogcheck, the AST invariant linter (see docs/ANALYSIS.md)",
-        description="Check the concurrency, IPC, and telemetry contracts "
-        "(BLG001-BLG006). Exits 1 when findings remain, 0 on a clean run.",
+        description="Check the concurrency, IPC, telemetry, and durability "
+        "contracts (BLG001-BLG007). Exits 1 when findings remain, 0 on a "
+        "clean run.",
     )
     lint.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -379,25 +431,38 @@ def _run_serve(args, out) -> int:
         slow_query_ms=args.slow_query_ms,
         trace_log=args.trace_log,
         trace_log_max_bytes=args.trace_log_max_bytes,
+        data_dir=args.data_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        drain_timeout=args.drain_timeout,
     )
 
     async def run() -> int:
         server = await service.serve_tcp(args.host, args.port)
         host, port = server.sockets[0].getsockname()[:2]
+        # SIGTERM/SIGINT -> graceful drain -> terminated -> exit 0; wired
+        # before the banner so a signal arriving the instant we announce
+        # readiness already drains instead of killing the process
+        service.lifecycle.install_signal_handlers(asyncio.get_running_loop())
         print(
             f"serving {', '.join(sorted(programs))} on {host}:{port} "
             f"({args.workers} {args.backend} lanes, "
             f"max {args.max_pending} pending)",
             file=out,
         )
+        if args.data_dir:
+            print(f"durable weight stores under {args.data_dir}", file=out)
         try:
             if args.selfcheck:
                 return await _selfcheck(service, host, port, out)
-            async with server:
-                await server.serve_forever()
+            await service.lifecycle.terminated.wait()
+            print("drained.", file=out)
             return 0
         finally:
-            await service.stop()
+            from .service import LifecycleState
+
+            service.lifecycle.remove_signal_handlers()
+            if service.lifecycle.state is not LifecycleState.STOPPED:
+                await service.stop()
             print(format_stats(service.stats()), file=out)
 
     try:
@@ -405,6 +470,73 @@ def _run_serve(args, out) -> int:
     except KeyboardInterrupt:
         print("interrupted.", file=out)
         return 0
+
+
+def _run_recover(args, out) -> int:
+    """Offline recovery: replay each program's snapshot + journal the
+    way ``serve --data-dir`` would at boot, report what happened, and
+    (with ``--compact``) write a fresh snapshot truncating the journal."""
+    import json
+    from pathlib import Path
+
+    from .weights.persist import StoreCorruptError
+    from .weights.wal import DurableStore, WalCorruptError
+
+    root = Path(args.data_dir)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=out)
+        return 2
+    if args.program:
+        names = [args.program]
+    else:
+        names = sorted(p.name for p in root.iterdir() if p.is_dir())
+    if not names:
+        print(f"error: no program directories under {root}", file=out)
+        return 2
+    reports: list[dict] = []
+    corrupt = False
+    for name in names:
+        ds = DurableStore(root / name, n=args.n, a=args.a)
+        try:
+            store, info = ds.recover()
+        except (StoreCorruptError, WalCorruptError) as exc:
+            corrupt = True
+            reports.append({"program": name, "ok": False, "error": str(exc)})
+            ds.close()
+            continue
+        report = {
+            "program": name,
+            "ok": True,
+            "entries": len(list(store.keys())),
+            "generation": store.generation,
+            **info.to_dict(),
+            "compacted": False,
+        }
+        if args.compact:
+            ds.checkpoint(store)
+            report["compacted"] = True
+        ds.close()
+        reports.append(report)
+    if args.format == "json":
+        print(json.dumps(reports, indent=1), file=out)
+    else:
+        for r in reports:
+            if not r["ok"]:
+                print(f"{r['program']}: CORRUPT — {r['error']}", file=out)
+                continue
+            line = (
+                f"{r['program']}: {r['entries']} entries at generation "
+                f"{r['generation']} (snapshot seq {r['snapshot_seq']}, "
+                f"{r['records_replayed']} replayed, "
+                f"{r['records_skipped']} skipped"
+            )
+            if r["torn_tail"]:
+                line += ", torn tail dropped"
+            line += ")"
+            if r["compacted"]:
+                line += "  [compacted]"
+            print(line, file=out)
+    return 1 if corrupt else 0
 
 
 def _run_lint(args, out) -> int:
@@ -445,6 +577,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "command", None) == "serve":
         return _run_serve(args, out)
+    if getattr(args, "command", None) == "recover":
+        return _run_recover(args, out)
     if getattr(args, "command", None) == "lint":
         return _run_lint(args, out)
     if args.nrev is not None:

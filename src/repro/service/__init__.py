@@ -19,6 +19,7 @@ from .cache import (
     canonical_query_text,
     slot_names,
 )
+from .lifecycle import LifecycleState, NotServing, ServiceLifecycle
 from .router import SessionRouter, SessionState
 from .server import BLogService, ProgramEntry, QueryRequest, QueryResponse
 from .stats import ServiceStats, TraceEvent, format_lane_stats, format_stats, percentile
@@ -53,6 +54,9 @@ __all__ = [
     "slot_names",
     "SessionRouter",
     "SessionState",
+    "LifecycleState",
+    "NotServing",
+    "ServiceLifecycle",
     "BLogService",
     "ProgramEntry",
     "QueryRequest",

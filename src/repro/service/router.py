@@ -263,5 +263,11 @@ class SessionRouter:
     def live_sessions(self) -> list[SessionState]:
         return list(self._sessions.values())
 
+    def open_session_keys(self) -> list[tuple[str, str]]:
+        """``(program, session)`` for every live session — what a graceful
+        drain walks to merge surviving sessions before the final
+        checkpoint (snapshot of the dict: end_session mutates it)."""
+        return sorted(self._sessions.keys())
+
     def __len__(self) -> int:
         return len(self._sessions)

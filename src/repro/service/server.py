@@ -43,7 +43,9 @@ import asyncio
 import contextlib
 import json
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Optional, Union
 
 from ..core.config import BLogConfig
@@ -52,10 +54,13 @@ from ..logic.parser import ParseError, parse_query
 from ..logic.program import Program
 from ..logic.terms import Term
 from ..machine.blog_machine import MachineConfig
+from ..weights.persist import store_delta
 from ..weights.session import MergeReport
 from ..weights.store import WeightStore
+from ..weights.wal import DurableStore
 from .admission import AdmissionController, Overloaded
 from .cache import AnswerCache, cache_key, canonical_query, slot_names
+from .lifecycle import LifecycleState, NotServing, ServiceLifecycle
 from .router import SessionRouter, SessionState
 from .stats import ServiceStats, TraceEvent
 from .telemetry import Telemetry, Trace
@@ -160,6 +165,19 @@ class BLogService:
     trace_log:
         When set, every finished request's spans are appended to this
         JSONL file (one object per span, size-rotated).
+    data_dir:
+        When set, the global weight stores are **durable**: every
+        acknowledged session merge is WAL-journaled (fsynced before the
+        ack) under ``data_dir/<program>/``, boot replays snapshot +
+        journal, and ``stop``/drain writes a final checkpoint.  None
+        (the default) keeps the historical in-memory behavior.
+    checkpoint_interval:
+        Seconds between periodic snapshots compacting the journal
+        (only meaningful with ``data_dir``); None disables the periodic
+        task — checkpoints then happen only at stop/drain.
+    drain_timeout:
+        Deadline (seconds) for in-flight work during a graceful drain;
+        queued work past it is cancelled, never run late.
     """
 
     def __init__(
@@ -178,6 +196,9 @@ class BLogService:
         slow_query_ms: Optional[float] = None,
         trace_log: Optional[str] = None,
         trace_log_max_bytes: int = 10_000_000,
+        data_dir: Optional[Union[str, Path]] = None,
+        checkpoint_interval: Optional[float] = None,
+        drain_timeout: float = 10.0,
     ):
         self.config = config if config is not None else BLogConfig()
         self.machine_config = (
@@ -212,6 +233,17 @@ class BLogService:
         self.stats_agg = ServiceStats(registry=registry)
         self._req_counter = 0
         self._tcp_server: Optional[asyncio.base_events.Server] = None
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.checkpoint_interval = (
+            float(checkpoint_interval) if checkpoint_interval else None
+        )
+        self.lifecycle = ServiceLifecycle(self, drain_timeout=drain_timeout)
+        self._durable: dict[str, DurableStore] = {}
+        #: single-threaded on purpose: WAL appends must hit the journal in
+        #: the order their merges hit the store (the loop thread computes
+        #: deltas in merge order; a FIFO one-worker executor preserves it)
+        self._wal_io: Optional[ThreadPoolExecutor] = None
+        self._checkpoint_task: Optional[asyncio.Task] = None
 
     # -- registry ----------------------------------------------------------
     def add_program(self, name: str, program: Union[Program, str]) -> ProgramEntry:
@@ -229,15 +261,145 @@ class BLogService:
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
+        already = self.pool.started
         await self.pool.start()
+        if self.data_dir is not None and not self._durable:
+            self.lifecycle.transition(LifecycleState.RECOVERING)
+            self._wal_io = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="blog-wal"
+            )
+            self._recover()
+        self.lifecycle.transition(LifecycleState.SERVING)
+        if (
+            not already
+            and self._durable
+            and self.checkpoint_interval is not None
+            and self._checkpoint_task is None
+        ):
+            self._checkpoint_task = asyncio.create_task(
+                self._checkpoint_loop(), name="blog-checkpoint"
+            )
 
-    async def stop(self) -> None:
+    async def close_ingress(self) -> None:
+        """Stop accepting new TCP connections (drain step 1; established
+        connections keep reading replies for work already admitted)."""
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
             self._tcp_server = None
+
+    async def stop(self) -> None:
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._checkpoint_task
+            self._checkpoint_task = None
+        await self.close_ingress()
         await self.pool.stop()
+        if self._durable:
+            await self.checkpoint()  # the final checkpoint: nothing is lost
+            for ds in self._durable.values():
+                ds.close()
+            self._durable = {}
+        if self._wal_io is not None:
+            self._wal_io.shutdown(wait=True)
+            self._wal_io = None
         self.telemetry.close()
+        self.lifecycle.transition(LifecycleState.STOPPED)
+
+    # -- durability (recovery, journaling, checkpoints) ---------------------
+    def _recover(self) -> None:
+        """Rebuild every program's global store from its data dir.
+
+        Synchronous on the event-loop thread, by design: recovery runs
+        before the first request is admitted (``ready`` is false in
+        RECOVERING), and the stores must not be observable half-replayed.
+        Emits one ``recovery`` root trace with a per-program child span.
+        """
+        assert self.data_dir is not None
+        trace = self.telemetry.tracer.start_trace(
+            self._next_id(), name="recovery", data_dir=str(self.data_dir)
+        )
+        try:
+            replayed_total = 0
+            for name in sorted(self.programs):
+                entry = self.programs[name]
+                with trace.span("recover-program", program=name) as span:
+                    ds = DurableStore(
+                        self.data_dir / name, n=self.config.n, a=self.config.a
+                    )
+                    store, info = ds.recover()
+                    entry.global_store = store
+                    self._durable[name] = ds
+                    span.set("snapshot_loaded", info.snapshot_loaded)
+                    span.set("records_replayed", info.records_replayed)
+                    span.set("records_skipped", info.records_skipped)
+                    span.set("torn_tail", info.torn_tail)
+                    span.set("generation", store.generation)
+                    replayed_total += info.records_replayed
+            if replayed_total:
+                self.telemetry.registry.counter(
+                    "blog_recovery_records_replayed_total"
+                ).inc(replayed_total)
+        finally:
+            trace.end()
+
+    async def _journal_merge(
+        self, entry: ProgramEntry, session: str, pre_generation: int, trace: Trace
+    ) -> None:
+        """WAL-append what a just-completed merge changed, fsynced before
+        the caller acknowledges the merge.  The delta is computed *here*,
+        on the loop thread with no await since the merge applied (so it
+        is exactly the store change being acknowledged); only the disk
+        write runs on the WAL executor.  A no-op merge (generation
+        unchanged) journals nothing.
+        """
+        ds = self._durable.get(entry.name)
+        if ds is None:
+            return
+        store = entry.global_store
+        if store.generation == pre_generation:
+            return
+        delta = store_delta(store, since=pre_generation)
+        generation = store.generation
+        loop = asyncio.get_running_loop()
+        with trace.span("wal-append", program=entry.name) as span:
+            await loop.run_in_executor(
+                self._wal_io, ds.log_merge, session, generation, delta
+            )
+            span.set("seq", ds.wal.seq)
+        registry = self.telemetry.registry
+        registry.counter("blog_wal_appends_total").inc()
+        registry.histogram("blog_wal_fsync_seconds").observe(ds.wal.last_fsync_s)
+
+    async def checkpoint(self) -> None:
+        """Snapshot every durable store and compact its journal.
+
+        The payload is prepared on the loop thread (consistent store +
+        seq view); only the atomic file write runs on the WAL executor,
+        serialized behind any in-flight appends.
+        """
+        if not self._durable:
+            return
+        loop = asyncio.get_running_loop()
+        t0 = time.monotonic()
+        try:
+            for name, ds in sorted(self._durable.items()):
+                entry = self.programs[name]
+                payload = ds.prepare_checkpoint(entry.global_store)
+                await loop.run_in_executor(self._wal_io, ds.write_checkpoint, payload)
+        finally:
+            self.telemetry.registry.histogram("blog_checkpoint_seconds").observe(
+                time.monotonic() - t0
+            )
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            try:
+                await self.checkpoint()
+            except Exception:  # noqa: BLE001 — a failed snapshot must not kill serving
+                self.telemetry.registry.counter("blog_checkpoint_errors_total").inc()
 
     # -- the in-process API ------------------------------------------------
     async def submit(self, request: QueryRequest) -> QueryResponse:
@@ -257,6 +419,23 @@ class BLogService:
             engine=request.engine,
         )
         try:
+            if not self.lifecycle.accepting:
+                trace.end(ok=False, outcome="not-serving")
+                self.stats_agg.record_rejection(
+                    TraceEvent(
+                        request_id=rid,
+                        program=request.program,
+                        session=request.session,
+                        engine_requested=request.engine,
+                        engine_used="rejected",
+                        ok=False,
+                        total_s=trace.root.duration_s,
+                        error="not-serving",
+                    )
+                )
+                raise NotServing(
+                    f"service is {self.lifecycle.state.value}, not accepting queries"
+                )
             try:
                 with trace.span("admission"):
                     self.admission.acquire()
@@ -610,8 +789,17 @@ class BLogService:
                     lane=lane,
                 )
                 with trace.span("merge", lane=lane, backend=self.backend) as span:
+                    pre_generation = entry.global_store.generation
                     report = await merge(job)
                     span.set("merged", report is not None)
+                    if report is not None:
+                        report.generation = entry.global_store.generation
+                        # durable before acknowledged: the journal append
+                        # (fsync included) completes before this job — and
+                        # therefore the client's end_session reply — resolves
+                        await self._journal_merge(
+                            entry, session, pre_generation, trace
+                        )
                     return report
 
             # submit() itself can raise (pool shutting down): keep it under
@@ -641,6 +829,10 @@ class BLogService:
             "traces": {
                 "started": self.telemetry.tracer.started,
                 "finished": self.telemetry.tracer.completed,
+            },
+            "lifecycle": self.lifecycle.state.value,
+            "durability": {
+                name: ds.status() for name, ds in sorted(self._durable.items())
             },
         }
 
@@ -772,10 +964,13 @@ class BLogService:
         Protocol: one JSON object per line.  ``{"op": "query", ...}``
         (or any object with a ``"query"`` key) runs a query;
         ``{"op": "end_session", "program": P, "session": S}`` merges a
-        session; ``{"op": "stats"}`` reports counters;
-        ``{"op": "metrics"}`` returns the metrics text exposition.
-        Responses are one JSON object per line, always with an ``"ok"``
-        field.
+        session (the reply's ``merged.generation`` is the store
+        generation the merge produced — the durability layer's ack key);
+        ``{"op": "stats"}`` reports counters; ``{"op": "metrics"}``
+        returns the metrics text exposition; ``{"op": "health"}`` and
+        ``{"op": "ready"}`` expose the lifecycle state (ready is false
+        while recovering or draining).  Responses are one JSON object
+        per line, always with an ``"ok"`` field.
         """
         await self.start()
         self._tcp_server = await asyncio.start_server(self._handle_client, host, port)
@@ -826,6 +1021,13 @@ class BLogService:
                     "overloaded": True,
                     "error": str(exc),
                 }
+            except NotServing as exc:
+                return {
+                    "id": msg.get("id"),
+                    "ok": False,
+                    "draining": True,
+                    "error": str(exc),
+                }
         if op == "end_session":
             report = await self.end_session(
                 msg.get("program", "default"),
@@ -840,4 +1042,14 @@ class BLogService:
             return {"ok": True, "stats": self.stats()}
         if op == "metrics":
             return {"ok": True, "metrics": self.metrics_text()}
+        if op == "health":
+            # truthful in every state: the process is alive and answering
+            return {"ok": True, **self.lifecycle.describe()}
+        if op == "ready":
+            # the load-balancer probe: flips false in RECOVERING/DRAINING
+            return {
+                "ok": self.lifecycle.ready,
+                "ready": self.lifecycle.ready,
+                "state": self.lifecycle.state.value,
+            }
         return {"ok": False, "error": f"unknown op {op!r}"}

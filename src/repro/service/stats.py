@@ -202,6 +202,20 @@ def format_stats(summary: dict) -> str:
             f"lane resets {summary.get('lane_resets', 0)}  "
             f"sessions abandoned {summary.get('sessions_abandoned', 0)}"
         )
+    if "lifecycle" in summary:
+        line = f"lifecycle {summary['lifecycle']}"
+        durability = summary.get("durability") or {}
+        for name, d in sorted(durability.items()):
+            rec = d.get("recovery", {})
+            line += (
+                f"\ndurable {name}: seq {d.get('seq', 0)}  "
+                f"wal appends {d.get('wal_appends', 0)} "
+                f"({d.get('wal_bytes', 0)}B)  "
+                f"checkpoints {d.get('checkpoints', 0)}  "
+                f"recovered {rec.get('records_replayed', 0)} replayed / "
+                f"{rec.get('records_skipped', 0)} skipped"
+            )
+        lines.append(line)
     if summary.get("lanes"):
         lines.append(format_lane_stats(summary["lanes"]))
     return "\n".join(lines)

@@ -91,6 +91,13 @@ METRIC_CATALOG: dict[str, str] = {
     # transport (server.py)
     "blog_lane_resets_total": "counter",
     "blog_client_disconnects_total": "counter",
+    # durability + lifecycle (server.py, lifecycle.py)
+    "blog_wal_appends_total": "counter",
+    "blog_wal_fsync_seconds": "histogram",
+    "blog_checkpoint_seconds": "histogram",
+    "blog_checkpoint_errors_total": "counter",
+    "blog_recovery_records_replayed_total": "counter",
+    "blog_drain_seconds": "histogram",
 }
 
 

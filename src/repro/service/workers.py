@@ -404,6 +404,33 @@ class WorkerPool:
     def depth(self, lane: int) -> int:
         return self._queues[lane].qsize() if self.started else 0
 
+    def pending_jobs(self) -> int:
+        """Jobs enqueued but not yet resolved (drain watches this)."""
+        return sum(q.qsize() for q in self._queues) if self.started else 0
+
+    def cancel_queued(self) -> int:
+        """Fail every job still *waiting* in a lane queue (in-flight jobs
+        are untouched).  The drain deadline uses this: work that never
+        started is refused rather than run past the deadline."""
+        cancelled = 0
+        for q in self._queues:
+            survivors: list = []
+            # qsize is exact here: queues are touched from the loop thread only
+            while q.qsize():
+                job = q.get_nowait()
+                q.task_done()
+                if job is None:  # keep the stop() sentinel in place
+                    survivors.append(job)
+                    continue
+                if not job.future.done():
+                    job.future.set_exception(
+                        QueryTimeout("service draining: queued work cancelled")
+                    )
+                    cancelled += 1
+            for job in survivors:
+                q.put_nowait(job)
+        return cancelled
+
     def lane_stats(self) -> list[dict]:
         return self.backend.lane_stats()
 

@@ -9,7 +9,13 @@ from .conditional import (
     conditional_on_success,
 )
 from .metrics import StoreSummary, chain_bound, store_distance, store_summary
-from .persist import load_store, save_store, store_from_dict, store_to_dict
+from .persist import (
+    StoreCorruptError,
+    load_store,
+    save_store,
+    store_from_dict,
+    store_to_dict,
+)
 from .policies import (
     POLICY_COMBINATIONS,
     on_failure_policy,
@@ -24,6 +30,7 @@ from .session import (
 from .store import WeightEntry, WeightState, WeightStore
 from .theory import TheoryResult, solve_weights, store_from_theory, verify_assignment
 from .update import UpdateLog, apply_outcome, on_failure, on_success
+from .wal import DurableStore, RecoveryInfo, WalCorruptError, WeightWal
 
 __all__ = [
     "WeightStore",
@@ -51,6 +58,11 @@ __all__ = [
     "load_store",
     "store_to_dict",
     "store_from_dict",
+    "StoreCorruptError",
+    "DurableStore",
+    "WeightWal",
+    "RecoveryInfo",
+    "WalCorruptError",
     "StoreSummary",
     "store_summary",
     "store_distance",

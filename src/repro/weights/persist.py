@@ -15,6 +15,7 @@ canonicalization being deterministic.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -30,9 +31,19 @@ __all__ = [
     "store_delta",
     "apply_delta",
     "delta_store",
+    "StoreCorruptError",
 ]
 
 DELTA_FORMAT = "blog-weights-delta-v1"
+
+
+class StoreCorruptError(ValueError):
+    """A persisted weight store could not be decoded.
+
+    Raised by :func:`load_store` (and the WAL snapshot loader) instead
+    of the raw ``json.JSONDecodeError``/``KeyError`` traceback, so an
+    operator sees *which file* is damaged and what to do about it.
+    """
 
 
 def _key_to_json(key: ArcKey) -> dict:
@@ -176,10 +187,47 @@ def delta_store(delta: dict) -> WeightStore:
 
 
 def save_store(store: WeightStore, path: Union[str, Path]) -> None:
-    """Write the store to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(store_to_dict(store), indent=1))
+    """Write the store to ``path`` as JSON, atomically.
+
+    tmp file → flush → fsync → ``os.replace``: a crash at any point
+    leaves either the previous store or the new one on disk, never a
+    truncated file.  (§5 keeps the global database in secondary
+    storage precisely so learning survives the process — a torn write
+    would defeat that.)
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    fh = open(tmp, "w", encoding="utf-8")
+    try:
+        json.dump(store_to_dict(store), fh, indent=1)
+        fh.flush()
+        os.fsync(fh.fileno())
+    finally:
+        fh.close()
+    os.replace(tmp, path)
 
 
 def load_store(path: Union[str, Path]) -> WeightStore:
-    """Read a store previously written by :func:`save_store`."""
-    return store_from_dict(json.loads(Path(path).read_text()))
+    """Read a store previously written by :func:`save_store`.
+
+    Raises :class:`StoreCorruptError` naming the file when it is
+    truncated, not JSON, or not a recognizable store payload.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StoreCorruptError(
+            f"weight store {path} is not valid JSON ({exc}) — the file is "
+            "truncated or damaged"
+        ) from exc
+    if not isinstance(data, dict):
+        raise StoreCorruptError(
+            f"weight store {path} does not hold a JSON object"
+        )
+    try:
+        return store_from_dict(data)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise StoreCorruptError(
+            f"weight store {path} is structurally invalid: {exc}"
+        ) from exc

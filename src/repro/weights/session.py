@@ -46,6 +46,11 @@ class MergeReport:
     retracted: int = 0  # INFINITE -> KNOWN (success overrode failure)
     suppressed_infinities: int = 0  # local ∞ blocked by global non-∞
     unchanged: int = 0
+    #: the global store's generation after this merge — the durability
+    #: layer keys WAL records (and replay idempotence) on
+    #: ``(session, generation)``, and clients receive it in the
+    #: ``end_session`` ack so a lost-ack retry is detectable
+    generation: int = 0
 
 
 def merge_conservative(

@@ -34,10 +34,11 @@ def codes(result) -> list[str]:
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         registry = rules_by_code()
         assert sorted(registry) == [
             "BLG001", "BLG002", "BLG003", "BLG004", "BLG005", "BLG006",
+            "BLG007",
         ]
 
     def test_module_identity_from_repro_root(self, tmp_path):
@@ -303,6 +304,55 @@ class TestMetricHygiene:
         assert result.ok
 
 
+class TestAtomicWrite:
+    GOOD = (
+        "import json, os\n"
+        "def save(payload, tmp, path):\n"
+        "    fh = open(tmp, 'w')\n"
+        "    try:\n"
+        "        json.dump(payload, fh)\n"
+        "        fh.flush()\n"
+        "        os.fsync(fh.fileno())\n"
+        "    finally:\n"
+        "        fh.close()\n"
+        "    os.replace(tmp, path)\n"
+    )
+
+    def test_flags_handleless_write(self, tmp_path):
+        src = "import json\ndef save(store, path):\n    path.write_text(json.dumps(store))\n"
+        result = lint_snippet(tmp_path, "repro/weights/bad.py", src)
+        assert codes(result) == ["BLG007"]
+
+    def test_flags_replace_without_fsync(self, tmp_path):
+        src = (
+            "import os\n"
+            "def save(tmp, path):\n"
+            "    with open(tmp, 'w') as fh:\n"
+            "        fh.write('x')\n"
+            "    os.replace(tmp, path)\n"
+        )
+        result = lint_snippet(tmp_path, "repro/weights/bad2.py", src)
+        assert codes(result) == ["BLG007"]
+        assert "page cache" in result.findings[0].message
+
+    def test_quiet_on_the_full_idiom(self, tmp_path):
+        result = lint_snippet(tmp_path, "repro/weights/ok.py", self.GOOD)
+        assert result.ok
+
+    def test_scoped_to_weights_package(self, tmp_path):
+        # the trace-log rotation in repro/service uses os.replace on a
+        # best-effort export file; the durability contract governs the
+        # weight stores only
+        src = "import os\ndef rotate(a, b):\n    os.replace(a, b)\n"
+        result = lint_snippet(tmp_path, "repro/service/ok.py", src)
+        assert result.ok
+
+    def test_module_level_write_checked(self, tmp_path):
+        src = "from pathlib import Path\nPath('w.json').write_bytes(b'{}')\n"
+        result = lint_snippet(tmp_path, "repro/weights/bad3.py", src)
+        assert codes(result) == ["BLG007"]
+
+
 class TestSuppressions:
     BAD = "def f(store, w):\n    store.set_known('arc', w){comment}\n"
 
@@ -366,14 +416,18 @@ class TestCli:
         ),
         "BLG005": "def f(g):\n    try:\n        g()\n    except Exception:\n        pass\n",
         "BLG006": "def f(reg):\n    reg.counter('oops_total').inc()\n",
+        "BLG007": "import json\ndef f(store, path):\n    path.write_text(json.dumps(store))\n",
     }
+    #: rules scoped to another package than repro/service
+    SEED_DIRS = {"BLG007": ("repro", "weights")}
 
     def test_each_rule_fails_the_cli_gate(self, tmp_path):
         # the acceptance criterion: a seeded violation of every rule
         # makes `python -m repro.cli lint` exit non-zero
         for code, src in self.SEEDS.items():
             root = tmp_path / code.lower()
-            target = root / "repro" / "service" / "seeded.py"
+            pkg = self.SEED_DIRS.get(code, ("repro", "service"))
+            target = root.joinpath(*pkg) / "seeded.py"
             target.parent.mkdir(parents=True)
             target.write_text(src)
             out = io.StringIO()
@@ -406,7 +460,7 @@ class TestCli:
         assert main(["lint", str(tmp_path), "--select", "nope"], out=io.StringIO()) == 2
         out = io.StringIO()
         assert main(["lint", "--list-rules"], out=out) == 0
-        assert out.getvalue().count("BLG") == 6
+        assert out.getvalue().count("BLG") == 7
 
     def test_json_format_flag(self, tmp_path):
         target = tmp_path / "repro" / "service" / "fine.py"

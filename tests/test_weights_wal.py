@@ -1,0 +1,288 @@
+"""Tests for the durable weight-store layer (repro.weights.wal).
+
+The WAL's contract is exact: a record acknowledged (``append``/
+``log_merge`` returned) survives any crash; a torn final record — the
+signature of a crash *during* an append — is dropped silently; interior
+corruption is refused loudly; replay is idempotent under re-delivery
+and under a crash between snapshot-replace and journal-truncate.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.ortree import ArcKey
+from repro.weights import WeightStore
+from repro.weights.persist import (
+    StoreCorruptError,
+    load_store,
+    save_store,
+    store_delta,
+)
+from repro.weights.wal import DurableStore, WalCorruptError, WeightWal
+
+
+def key(i: int) -> ArcKey:
+    return ArcKey("pointer", (i, 0, i + 1))
+
+
+def entries(store: WeightStore) -> dict:
+    return {k: store.entry(k) for k in store.keys()}
+
+
+def learned_delta(store: WeightStore, n: int = 3, offset: int = 0) -> dict:
+    """Mutate ``store`` like a merge would and return the acked delta."""
+    since = store.generation
+    for i in range(n):
+        store.set_known(key(offset + i), 1.0 + i)
+    return store_delta(store, since=since)
+
+
+class TestWalFraming:
+    def test_append_scan_roundtrip(self, tmp_path):
+        wal = WeightWal(tmp_path / "wal.log")
+        wal.append({"session": "a", "generation": 1, "delta": {"x": 1}})
+        wal.append({"session": "b", "generation": 2, "delta": {"x": 2}})
+        wal.close()
+        records, offset, torn = WeightWal(tmp_path / "wal.log").scan()
+        assert [r["seq"] for r in records] == [1, 2]
+        assert [r["session"] for r in records] == ["a", "b"]
+        assert not torn
+        assert offset == (tmp_path / "wal.log").stat().st_size
+
+    def test_torn_final_record_dropped(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WeightWal(path)
+        wal.append({"session": "a", "generation": 1, "delta": {}})
+        wal.append({"session": "b", "generation": 2, "delta": {}})
+        wal.close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])  # crash mid-append of the final frame
+        records, offset, torn = WeightWal(path).scan()
+        assert [r["session"] for r in records] == ["a"]
+        assert torn
+        assert offset < len(data) - 3
+
+    def test_torn_header_dropped(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WeightWal(path)
+        wal.append({"session": "a", "generation": 1, "delta": {}})
+        wal.close()
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\x00")  # 2 of 8 header bytes made it out
+        records, _, torn = WeightWal(path).scan()
+        assert len(records) == 1 and torn
+
+    def test_interior_corruption_refused(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WeightWal(path)
+        wal.append({"session": "a", "generation": 1, "delta": {}})
+        first_end = path.stat().st_size
+        wal.append({"session": "b", "generation": 2, "delta": {}})
+        wal.close()
+        data = bytearray(path.read_bytes())
+        data[12] ^= 0xFF  # flip a payload byte of the FIRST record
+        path.write_bytes(bytes(data))
+        assert first_end < len(data)
+        with pytest.raises(WalCorruptError, match="refusing to replay"):
+            WeightWal(path).scan()
+
+    def test_corrupt_tail_counts_as_torn(self, tmp_path):
+        # a bad checksum on the very last frame is indistinguishable from
+        # a partially overwritten append: dropped, not fatal
+        path = tmp_path / "wal.log"
+        wal = WeightWal(path)
+        wal.append({"session": "a", "generation": 1, "delta": {}})
+        wal.append({"session": "b", "generation": 2, "delta": {}})
+        wal.close()
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        records, _, torn = WeightWal(path).scan()
+        assert [r["session"] for r in records] == ["a"] and torn
+
+    def test_frame_layout_is_len_crc_payload(self, tmp_path):
+        # pin the on-disk format: 4-byte BE length, 4-byte BE crc32, JSON
+        path = tmp_path / "wal.log"
+        wal = WeightWal(path)
+        wal.append({"session": "s", "generation": 3, "delta": {}})
+        wal.close()
+        raw = path.read_bytes()
+        length, crc = struct.unpack_from(">II", raw, 0)
+        payload = raw[8 : 8 + length]
+        assert zlib.crc32(payload) == crc
+        assert json.loads(payload)["generation"] == 3
+
+    def test_seq_monotonic_across_reset(self, tmp_path):
+        wal = WeightWal(tmp_path / "wal.log")
+        wal.append({"session": "a", "generation": 1, "delta": {}})
+        wal.reset()
+        assert wal.size_bytes() == 0
+        seq = wal.append({"session": "b", "generation": 2, "delta": {}})
+        assert seq == 2  # never reused: the snapshot seq guard depends on it
+        wal.close()
+
+
+class TestDurableStoreRecovery:
+    def test_empty_dir_recovers_empty(self, tmp_path):
+        store, info = DurableStore(tmp_path / "p", n=8, a=16).recover()
+        assert len(list(store.keys())) == 0
+        assert not info.snapshot_loaded and info.records_replayed == 0
+
+    def test_journal_only_replay(self, tmp_path):
+        live = WeightStore(n=8, a=16)
+        ds = DurableStore(tmp_path / "p", n=8, a=16)
+        ds.log_merge("s1", live.generation + 3, learned_delta(live))
+        ds.log_merge("s2", live.generation + 3, learned_delta(live, offset=10))
+        ds.close()
+        recovered, info = DurableStore(tmp_path / "p", n=8, a=16).recover()
+        assert entries(recovered) == entries(live)
+        assert recovered.generation == live.generation
+        assert info.records_replayed == 2 and info.records_skipped == 0
+
+    def test_snapshot_plus_tail(self, tmp_path):
+        live = WeightStore(n=8, a=16)
+        ds = DurableStore(tmp_path / "p", n=8, a=16)
+        ds.log_merge("s1", 0, learned_delta(live))
+        ds.checkpoint(live)
+        assert ds.wal.size_bytes() == 0  # compacted
+        ds.log_merge("s2", live.generation + 3, learned_delta(live, offset=10))
+        ds.close()
+        recovered, info = DurableStore(tmp_path / "p", n=8, a=16).recover()
+        assert entries(recovered) == entries(live)
+        assert info.snapshot_loaded and info.records_replayed == 1
+
+    def test_replay_is_idempotent_per_session_generation(self, tmp_path):
+        # the same (session, generation) record delivered twice — a retry
+        # after a lost ack — is applied once and counted as skipped
+        live = WeightStore(n=8, a=16)
+        delta = learned_delta(live)
+        gen = live.generation
+        ds = DurableStore(tmp_path / "p", n=8, a=16)
+        ds.log_merge("s1", gen, delta)
+        ds.log_merge("s1", gen, delta)  # duplicate delivery
+        ds.close()
+        recovered, info = DurableStore(tmp_path / "p", n=8, a=16).recover()
+        assert entries(recovered) == entries(live)
+        assert info.records_replayed == 1 and info.records_skipped == 1
+
+    def test_crash_between_snapshot_and_truncate(self, tmp_path):
+        # snapshot written, journal NOT yet truncated (the crash window in
+        # write_checkpoint): replay must skip the covered records by seq
+        live = WeightStore(n=8, a=16)
+        ds = DurableStore(tmp_path / "p", n=8, a=16)
+        ds.log_merge("s1", live.generation + 3, learned_delta(live))
+        snap = ds.prepare_checkpoint(live)
+        # simulate the crash: write the snapshot file but skip the truncate
+        ds.snapshot_path.write_text(json.dumps(snap))
+        ds.close()
+        recovered, info = DurableStore(tmp_path / "p", n=8, a=16).recover()
+        assert entries(recovered) == entries(live)
+        assert info.records_replayed == 0 and info.records_skipped == 1
+
+    def test_recovery_restores_generation(self, tmp_path):
+        live = WeightStore(n=8, a=16)
+        ds = DurableStore(tmp_path / "p", n=8, a=16)
+        for i in range(4):
+            ds.log_merge(f"s{i}", live.generation + 3, learned_delta(live, offset=i * 5))
+        ds.checkpoint(live)
+        ds.close()
+        recovered, _ = DurableStore(tmp_path / "p", n=8, a=16).recover()
+        # a fresh merge after recovery must get a NEW generation, or the
+        # (session, generation) dedupe would silently drop it on replay
+        assert recovered.generation == live.generation
+
+    def test_torn_tail_truncated_on_recovery(self, tmp_path):
+        live = WeightStore(n=8, a=16)
+        ds = DurableStore(tmp_path / "p", n=8, a=16)
+        ds.log_merge("s1", live.generation + 3, learned_delta(live))
+        ds.close()
+        path = tmp_path / "p" / "wal.log"
+        good = path.read_bytes()
+        path.write_bytes(good + b"\x00\x01\x02")  # torn append after s1
+        ds2 = DurableStore(tmp_path / "p", n=8, a=16)
+        recovered, info = ds2.recover()
+        assert info.torn_tail and info.records_replayed == 1
+        # the torn bytes are gone: the next append lands on a clean tail
+        ds2.log_merge("s2", live.generation + 6, learned_delta(live, offset=10))
+        ds2.close()
+        records, _, torn = WeightWal(path).scan()
+        assert not torn and [r["session"] for r in records] == ["s1", "s2"]
+
+    def test_corrupt_snapshot_raises_store_corrupt(self, tmp_path):
+        ds = DurableStore(tmp_path / "p", n=8, a=16)
+        ds.snapshot_path.write_text('{"format": "blog-wal-snapshot-v1", "sto')
+        with pytest.raises(StoreCorruptError, match="snapshot"):
+            ds.recover()
+
+    def test_wrong_snapshot_format_raises(self, tmp_path):
+        ds = DurableStore(tmp_path / "p", n=8, a=16)
+        ds.snapshot_path.write_text('{"format": "blog-weights-v1"}')
+        with pytest.raises(StoreCorruptError, match="format"):
+            ds.recover()
+
+    def test_checkpoint_keeps_journal_when_appends_raced_in(self, tmp_path):
+        # an append lands between prepare and write: truncation is skipped
+        # (seq mismatch) and recovery still sees everything exactly once
+        live = WeightStore(n=8, a=16)
+        ds = DurableStore(tmp_path / "p", n=8, a=16)
+        ds.log_merge("s1", live.generation + 3, learned_delta(live))
+        payload = ds.prepare_checkpoint(live)
+        ds.log_merge("s2", live.generation + 3, learned_delta(live, offset=10))
+        ds.write_checkpoint(payload)
+        assert ds.wal.size_bytes() > 0  # s2's record survived the checkpoint
+        ds.close()
+        recovered, info = DurableStore(tmp_path / "p", n=8, a=16).recover()
+        assert entries(recovered) == entries(live)
+        assert info.records_replayed == 1  # only s2; s1 came from the snapshot
+
+
+class TestAtomicSaveStore:
+    def test_save_leaves_no_tmp_file(self, tmp_path):
+        store = WeightStore(n=8, a=16)
+        store.set_known(key(1), 2.0)
+        path = tmp_path / "w.json"
+        save_store(store, path)
+        assert load_store(path).weight(key(1)) == 2.0
+        assert list(tmp_path.iterdir()) == [path]  # tmp file replaced away
+
+    def test_save_overwrites_previous(self, tmp_path):
+        path = tmp_path / "w.json"
+        a = WeightStore(n=8, a=16)
+        a.set_known(key(1), 1.0)
+        save_store(a, path)
+        b = WeightStore(n=8, a=16)
+        b.set_known(key(2), 2.0)
+        save_store(b, path)
+        loaded = load_store(path)
+        assert loaded.weight(key(2)) == 2.0
+        assert entries(loaded) == entries(b)
+
+    def test_truncated_json_raises_store_corrupt(self, tmp_path):
+        path = tmp_path / "w.json"
+        store = WeightStore(n=8, a=16)
+        store.set_known(key(1), 2.0)
+        save_store(store, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(StoreCorruptError, match="truncated or damaged"):
+            load_store(path)
+
+    def test_wrong_shape_raises_store_corrupt(self, tmp_path):
+        path = tmp_path / "w.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(StoreCorruptError, match="JSON object"):
+            load_store(path)
+        path.write_text('{"format": "blog-weights-v1"}')  # missing fields
+        with pytest.raises(StoreCorruptError, match="structurally invalid"):
+            load_store(path)
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        with pytest.raises(StoreCorruptError, match="broken.json"):
+            load_store(path)
